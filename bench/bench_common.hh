@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benches.
+ *
+ * Every bench regenerates one or more of the paper's tables/figures as
+ * labelled text tables. Scale knobs (all optional):
+ *   TLPSIM_SET=tiny|small|full   workload set (default small)
+ *   TLPSIM_WARMUP / TLPSIM_INSTRS  per-core instruction counts
+ *   TLPSIM_MIXES                 4-core mixes per suite
+ *
+ * Simulation results are cached per (workload|mix, config) within the
+ * process so benches that print several figures from the same runs (e.g.
+ * Figs. 10/11/12) simulate each design point once.
+ */
+
+#ifndef TLPSIM_BENCH_BENCH_COMMON_HH
+#define TLPSIM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace tlpsim::bench
+{
+
+using experiment::TablePrinter;
+
+/** Default bench scale: small enough for a laptop sweep. */
+inline InstrCount
+benchWarmup()
+{
+    return experiment::envWarmup(50'000);
+}
+
+inline InstrCount
+benchInstrs()
+{
+    return experiment::envInstrs(250'000);
+}
+
+inline int
+benchMixes()
+{
+    return experiment::envMixes(2);
+}
+
+inline std::vector<workloads::WorkloadSpec>
+benchWorkloads()
+{
+    return workloads::singleCoreWorkloads(workloads::setSizeFromEnv());
+}
+
+/** Single-core config at bench scale. */
+inline SystemConfig
+benchConfig(L1Prefetcher pf = L1Prefetcher::Ipcp,
+            const SchemeConfig &scheme = SchemeConfig::baseline())
+{
+    SystemConfig cfg = SystemConfig::cascadeLake(1);
+    cfg.warmup_instrs = benchWarmup();
+    cfg.sim_instrs = benchInstrs();
+    cfg.l1_prefetcher = pf;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+/** 4-core config at bench scale. */
+inline SystemConfig
+benchConfigMc(L1Prefetcher pf = L1Prefetcher::Ipcp,
+              const SchemeConfig &scheme = SchemeConfig::baseline())
+{
+    SystemConfig cfg = SystemConfig::cascadeLake(4);
+    cfg.warmup_instrs = benchWarmup();
+    cfg.sim_instrs = benchInstrs();
+    cfg.l1_prefetcher = pf;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+/** Config fingerprint for the run cache. */
+inline std::string
+cfgKey(const SystemConfig &cfg)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s|%s|%u|%.2f|%u|%u",
+                  cfg.scheme.name.c_str(), toString(cfg.l1_prefetcher),
+                  cfg.num_cores, cfg.dram_gbps_per_core,
+                  cfg.l1_pf_table_scale, cfg.scheme.offchip_table_scale);
+    return buf;
+}
+
+/** Run (or fetch) a cached single-core simulation. */
+inline const SimResult &
+run(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
+{
+    static std::map<std::string, SimResult> cache;
+    std::string key = w.name + "|" + cfgKey(cfg);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        std::fprintf(stderr, "  [sim] %-22s %s\n", w.name.c_str(),
+                     cfgKey(cfg).c_str());
+        it = cache.emplace(key, experiment::runSingleCore(w, cfg)).first;
+    }
+    return it->second;
+}
+
+/** Run (or fetch) a cached 4-core mix simulation. */
+inline const SimResult &
+runMixCached(const std::vector<workloads::WorkloadSpec> &all,
+             const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    static std::map<std::string, SimResult> cache;
+    std::string key = mix.name + "|" + cfgKey(cfg);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        std::fprintf(stderr, "  [sim] %-22s %s\n", mix.name.c_str(),
+                     cfgKey(cfg).c_str());
+        it = cache.emplace(key, experiment::runMix(all, mix, cfg)).first;
+    }
+    return it->second;
+}
+
+/** Per-suite + overall geometric-mean summary of per-workload percents. */
+struct SuiteSummary
+{
+    std::vector<double> spec;
+    std::vector<double> gap;
+
+    void
+    add(workloads::Suite suite, double pct)
+    {
+        (suite == workloads::Suite::Spec ? spec : gap).push_back(pct);
+    }
+
+    double specMean() const { return experiment::geomeanSpeedupPct(spec); }
+    double gapMean() const { return experiment::geomeanSpeedupPct(gap); }
+
+    double
+    allMean() const
+    {
+        std::vector<double> all = spec;
+        all.insert(all.end(), gap.begin(), gap.end());
+        return experiment::geomeanSpeedupPct(all);
+    }
+};
+
+inline void
+printBanner(const char *what, const char *paper_ref)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("tlpsim bench: %s\n", what);
+    std::printf("reproduces  : %s\n", paper_ref);
+    std::printf("scale       : warmup=%llu sim=%llu per core "
+                "(TLPSIM_WARMUP/TLPSIM_INSTRS to change)\n",
+                static_cast<unsigned long long>(benchWarmup()),
+                static_cast<unsigned long long>(benchInstrs()));
+    std::printf("================================================="
+                "=============\n");
+}
+
+} // namespace tlpsim::bench
+
+#endif // TLPSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the predictor hardware models:
+ * lookup/train throughput of the FLP and SLP perceptrons, the PPF filter,
+ * the branch predictor, and the page buffer — the structures TLP adds to
+ * the 6-cycle prediction path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/branch_pred.hh"
+#include "filter/ppf.hh"
+#include "offchip/offchip_predictor.hh"
+#include "offchip/page_buffer.hh"
+#include "offchip/slp.hh"
+
+using namespace tlpsim;
+
+static void
+BM_FlpPredict(benchmark::State &state)
+{
+    StatGroup stats("b");
+    OffChipPredictor::Params p;
+    p.policy = OffchipPolicy::Selective;
+    OffChipPredictor pred(p, &stats);
+    Rng rng(1);
+    for (auto _ : state) {
+        auto d = pred.predictLoad(0x400000 + rng.below(64) * 4,
+                                  (Addr{1} << 32) + rng.below(1 << 20) * 8);
+        benchmark::DoNotOptimize(d.predicted_offchip);
+    }
+}
+BENCHMARK(BM_FlpPredict);
+
+static void
+BM_FlpPredictAndTrain(benchmark::State &state)
+{
+    StatGroup stats("b");
+    OffChipPredictor::Params p;
+    p.policy = OffchipPolicy::Selective;
+    OffChipPredictor pred(p, &stats);
+    Rng rng(1);
+    for (auto _ : state) {
+        auto d = pred.predictLoad(0x400000 + rng.below(64) * 4,
+                                  (Addr{1} << 32) + rng.below(1 << 20) * 8);
+        pred.train(d.meta, rng.chance(0.4));
+    }
+}
+BENCHMARK(BM_FlpPredictAndTrain);
+
+static void
+BM_SlpFilter(benchmark::State &state)
+{
+    StatGroup stats("b");
+    Slp slp({}, &stats);
+    Rng rng(2);
+    PrefetchTrigger trig;
+    trig.ip = 0x400100;
+    trig.type = AccessType::Load;
+    for (auto _ : state) {
+        PredictionMeta meta;
+        std::uint8_t fl = 1;
+        trig.offchip_pred = rng.chance(0.3);
+        bool ok = slp.allow(trig, 0, rng.below(1 << 24) * 64, 0, fl, meta);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_SlpFilter);
+
+static void
+BM_PpfFilter(benchmark::State &state)
+{
+    StatGroup stats("b");
+    Ppf ppf({}, &stats);
+    Rng rng(3);
+    PrefetchTrigger trig;
+    trig.ip = 0x400100;
+    trig.type = AccessType::Load;
+    for (auto _ : state) {
+        PredictionMeta meta;
+        std::uint8_t fl = 2;
+        bool ok = ppf.allow(trig, 0, rng.below(1 << 24) * 64,
+                            rng.below(1 << 20), fl, meta);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_PpfFilter);
+
+static void
+BM_BranchPredict(benchmark::State &state)
+{
+    StatGroup stats("b");
+    BranchPredictor bp(&stats);
+    Rng rng(4);
+    for (auto _ : state) {
+        bool ok = bp.predictAndTrain(0x400000 + rng.below(256) * 4,
+                                     rng.chance(0.6));
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+static void
+BM_PageBuffer(benchmark::State &state)
+{
+    PageBuffer pb;
+    Rng rng(5);
+    for (auto _ : state) {
+        bool first = pb.firstAccess(rng.below(1 << 20) * 64);
+        benchmark::DoNotOptimize(first);
+    }
+}
+BENCHMARK(BM_PageBuffer);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Off-chip predictor playground: drive an FLP instance by hand, outside
+ * the simulator, and watch its confusion matrix evolve.
+ *
+ * A synthetic load stream mixes three behaviours: a pointer-chase PC that
+ * always misses to DRAM, a hot-loop PC that always hits, and a "warming"
+ * PC that starts off-chip and becomes cache-resident halfway through —
+ * showing the perceptron adapt. Demonstrates the raw predictor API
+ * (predictLoad / train) and the selective-delay decision split.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "offchip/offchip_predictor.hh"
+
+using namespace tlpsim;
+
+int
+main()
+{
+    StatGroup stats("playground");
+    OffChipPredictor::Params params;
+    params.name = "flp";
+    params.policy = OffchipPolicy::Selective;
+    params.tau_high = 30;
+    params.tau_low = 8;
+    OffChipPredictor flp(params, &stats);
+
+    Rng rng(99);
+    constexpr Addr kChasePc = 0x401000;
+    constexpr Addr kHotPc = 0x402000;
+    constexpr Addr kWarmPc = 0x403000;
+    constexpr int kPhase = 20'000;
+
+    struct Window
+    {
+        int tp = 0, fp = 0, tn = 0, fn = 0, now = 0, delayed = 0;
+        void
+        report(const char *label)
+        {
+            int total = tp + fp + tn + fn;
+            std::printf("  %-18s acc=%5.1f%%  spec_now=%5d delayed=%5d  "
+                        "(tp=%d fp=%d tn=%d fn=%d)\n",
+                        label,
+                        total ? 100.0 * (tp + tn) / total : 0.0, now,
+                        delayed, tp, fp, tn, fn);
+            *this = Window{};
+        }
+    } win;
+
+    std::printf("phase 1: chase PC off-chip, hot PC on-chip, warm PC "
+                "off-chip\n");
+    for (int i = 0; i < 2 * kPhase; ++i) {
+        if (i == kPhase) {
+            win.report("end of phase 1:");
+            std::printf("phase 2: warm PC becomes cache-resident\n");
+        }
+        Addr pc;
+        bool offchip;
+        switch (rng.below(3)) {
+          case 0:
+            pc = kChasePc;
+            offchip = true;
+            break;
+          case 1:
+            pc = kHotPc;
+            offchip = false;
+            break;
+          default:
+            pc = kWarmPc;
+            offchip = i < kPhase;   // flips at the phase boundary
+        }
+        Addr va = (Addr{1} << 32) + rng.below(1 << 18) * 64;
+        auto d = flp.predictLoad(pc, va);
+        flp.train(d.meta, offchip);
+        win.tp += d.predicted_offchip && offchip;
+        win.fp += d.predicted_offchip && !offchip;
+        win.tn += !d.predicted_offchip && !offchip;
+        win.fn += !d.predicted_offchip && offchip;
+        win.now += d.spec_now;
+        win.delayed += d.delayed_flag;
+    }
+    win.report("end of phase 2:");
+
+    std::printf("\npredictor storage:\n%s",
+                flp.storage().toTable("FLP budget (paper: 3.21 KB)")
+                    .c_str());
+    std::printf("\ntakeaway: high-confidence chase loads fire immediate "
+                "speculative requests; ambiguous ones get the delayed "
+                "flag (resolved at L1D miss); the phase flip is "
+                "relearned within a few thousand loads.\n");
+    return 0;
+}

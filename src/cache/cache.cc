@@ -1,0 +1,565 @@
+#include "cache/cache.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+#include "mem/dram.hh"
+
+namespace tlpsim
+{
+
+namespace
+{
+
+const char *kTypeNames[] = {"load", "rfo", "pf", "wb", "trans"};
+
+int
+levelIndex(MemLevel l)
+{
+    switch (l) {
+      case MemLevel::L2C: return 1;
+      case MemLevel::LLC: return 2;
+      case MemLevel::Dram: return 3;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+Cache::Cache(const Params &p, MemoryBackend *lower, StatGroup *stats)
+    : params_(p), lower_(lower), stats_(stats),
+      blocks_(static_cast<std::size_t>(p.sets) * p.ways)
+{
+    assert(isPowerOfTwo(p.sets));
+    for (int t = 0; t < 5; ++t) {
+        hit_[t] = stats->counter(p.name + "." + kTypeNames[t] + "_hit");
+        miss_[t] = stats->counter(p.name + "." + kTypeNames[t] + "_miss");
+    }
+    mshr_merge_ = stats->counter(p.name + ".mshr_merge");
+    pf_issued_ = stats->counter(p.name + ".pf_issued");
+    pf_filtered_ = stats->counter(p.name + ".pf_filtered");
+    pf_dropped_queue_ = stats->counter(p.name + ".pf_dropped_queue");
+    pf_dup_ = stats->counter(p.name + ".pf_dup");
+    pf_useful_ = stats->counter(p.name + ".pf_useful");
+    pf_useless_ = stats->counter(p.name + ".pf_useless");
+    pf_late_ = stats->counter(p.name + ".pf_late");
+    writebacks_ = stats->counter(p.name + ".writebacks");
+    spec_delayed_issued_ = stats->counter(p.name + ".spec_delayed_issued");
+    const char *lvl[] = {"l1d", "l2c", "llc", "dram"};
+    for (int i = 0; i < 4; ++i) {
+        pf_useful_from_[i]
+            = stats->counter(p.name + ".pf_useful_from_" + lvl[i]);
+        pf_useless_from_[i]
+            = stats->counter(p.name + ".pf_useless_from_" + lvl[i]);
+    }
+}
+
+std::uint64_t
+Cache::storageBits() const
+{
+    // Data + tag (assume 40-bit physical tags) + state bits per block.
+    return static_cast<std::uint64_t>(params_.sets) * params_.ways
+        * (kBlockSize * 8 + 40 + 4);
+}
+
+Cache::Block *
+Cache::lookup(Addr paddr, bool update_lru)
+{
+    Addr block = blockNumber(paddr);
+    std::size_t set = block & (params_.sets - 1);
+    Block *base = &blocks_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block) {
+            if (update_lru)
+                base[w].lru = ++lru_clock_;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+Cache::Block &
+Cache::victimFor(Addr paddr)
+{
+    std::size_t set = blockNumber(paddr) & (params_.sets - 1);
+    Block *base = &blocks_[set * params_.ways];
+    Block *victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid)
+            return base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr paddr)
+{
+    Addr block = blockNumber(paddr);
+    for (auto &m : mshrs_) {
+        if (m.block == block)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+Cache::probe(Addr paddr) const
+{
+    Addr block = blockNumber(paddr);
+    std::size_t set = block & (params_.sets - 1);
+    const Block *base = &blocks_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::sendRead(const Packet &pkt)
+{
+    if (rq_.size() >= params_.rq_size)
+        return false;
+    rq_.push_back({pkt, pkt.birth + params_.latency});
+    return true;
+}
+
+bool
+Cache::sendWrite(const Packet &pkt)
+{
+    if (wq_.size() >= params_.wq_size)
+        return false;
+    wq_.push_back({pkt, pkt.birth + params_.latency});
+    return true;
+}
+
+bool
+Cache::sendPrefetch(const Packet &pkt)
+{
+    if (pq_.size() >= params_.pq_size)
+        return false;
+    pq_.push_back({pkt, pkt.birth + params_.latency});
+    return true;
+}
+
+void
+Cache::memReturn(const Packet &pkt)
+{
+    fills_.push_back({pkt, pkt.birth});
+}
+
+void
+Cache::respond(Packet pkt, MemLevel served_by)
+{
+    pkt.served_by = served_by;
+    if (pkt.requestor != nullptr)
+        pkt.requestor->memReturn(pkt);
+}
+
+void
+Cache::countAccess(AccessType type, bool hit)
+{
+    (hit ? hit_ : miss_)[static_cast<int>(type)]->add();
+}
+
+void
+Cache::classifyEviction(const Block &blk)
+{
+    if (!blk.valid)
+        return;
+    if (blk.prefetched) {
+        pf_useless_->add();
+        pf_useless_from_[levelIndex(blk.pf_served_from)]->add();
+        if (params_.filter != nullptr)
+            params_.filter->onPrefetchedEvictUnused(blk.tag << kBlockBits);
+    }
+}
+
+bool
+Cache::install(const Packet &pkt, Cycle now)
+{
+    // Prefetches only allocate at levels at or above their fill level
+    // (level_num >= fill_level); pass-through fills skip installation.
+    if (pkt.type == AccessType::Prefetch
+        && params_.level_num < pkt.fill_level) {
+        return true;
+    }
+
+    Block &victim = victimFor(pkt.paddr);
+    if (victim.valid && victim.dirty) {
+        Packet wb;
+        wb.paddr = victim.tag << kBlockBits;
+        wb.vaddr = wb.paddr;
+        wb.type = AccessType::Writeback;
+        wb.core = pkt.core;
+        wb.birth = now;
+        if (!lower_->sendWrite(wb))
+            return false;   // retry when the lower write queue drains
+        writebacks_->add();
+    }
+    classifyEviction(victim);
+
+    victim.tag = blockNumber(pkt.paddr);
+    victim.valid = true;
+    victim.dirty = false;
+    victim.prefetched = false;
+    victim.pf_served_from = MemLevel::None;
+    victim.lru = ++lru_clock_;
+    return true;
+}
+
+void
+Cache::processFills(Cycle now)
+{
+    while (!fills_.empty()) {
+        const Packet &fill = fills_.front().pkt;
+        Mshr *mshr = findMshr(fill.paddr);
+
+        // Install unless this is a pass-through prefetch fill.
+        bool demand_merged = mshr != nullptr && mshr->demand_merged;
+        Packet to_install = fill;
+        if (demand_merged)
+            to_install.type = AccessType::Load;   // promoted: always allocate
+        if (!install(to_install, now))
+            return;   // blocked on lower WQ; retry next cycle
+
+        if (mshr == nullptr) {
+            // Fire-and-forget fill (pass-through prefetch): nothing to wake.
+            fills_.pop_front();
+            continue;
+        }
+
+        Block *blk = lookup(fill.paddr, false);
+        bool was_prefetch = mshr->type == AccessType::Prefetch;
+        if (blk != nullptr && was_prefetch && !mshr->demand_merged) {
+            blk->prefetched = true;
+            blk->pf_served_from = fill.served_by;
+        }
+        if (was_prefetch && mshr->demand_merged) {
+            // Late prefetch: a demand arrived while it was in flight.
+            pf_late_->add();
+            pf_useful_->add();
+            pf_useful_from_[levelIndex(fill.served_by)]->add();
+        }
+        if (blk != nullptr && mshr->dirty_on_fill)
+            blk->dirty = true;
+
+        if (was_prefetch && params_.filter != nullptr
+            && mshr->primary.pred_meta.valid) {
+            Packet done = mshr->primary;
+            done.served_by = fill.served_by;
+            params_.filter->onPrefetchFill(done);
+        }
+        if (!was_prefetch && params_.prefetcher != nullptr
+            && mshr->primary.isDemand()) {
+            params_.prefetcher->onFill(mshr->primary.vaddr, mshr->primary.ip,
+                                       fill.served_by,
+                                       now - mshr->primary.birth);
+        }
+
+        if (mshr->primary.requestor != nullptr)
+            respond(mshr->primary, fill.served_by);
+        for (auto &w : mshr->waiters)
+            respond(w, fill.served_by);
+
+        *mshr = std::move(mshrs_.back());
+        mshrs_.pop_back();
+        fills_.pop_front();
+    }
+}
+
+void
+Cache::notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
+                        Cycle now)
+{
+    if (params_.prefetcher == nullptr)
+        return;
+    PrefetchTrigger trig;
+    trig.vaddr = pkt.vaddr;
+    trig.paddr = pkt.paddr;
+    trig.ip = pkt.ip;
+    trig.type = pkt.type;
+    trig.cache_hit = hit;
+    trig.prefetch_hit = prefetch_hit;
+    trig.offchip_pred = pkt.offchip_pred;
+    trig.core = pkt.core;
+    trig.now = now;
+
+    cand_buf_.clear();
+    params_.prefetcher->onAccess(trig, cand_buf_);
+
+    for (const auto &cand : cand_buf_) {
+        Addr pf_vaddr = cand.addr;
+        Addr pf_paddr = params_.translator
+            ? params_.translator(pkt.core, pf_vaddr)
+            : pf_vaddr;
+        std::uint8_t fill_level = cand.fill_level;
+        PredictionMeta meta;
+        if (params_.filter != nullptr
+            && !params_.filter->allow(trig, pf_vaddr, pf_paddr,
+                                      cand.metadata, fill_level, meta)) {
+            pf_filtered_->add();
+            continue;
+        }
+        if (pq_.size() >= params_.pq_size) {
+            pf_dropped_queue_->add();
+            continue;
+        }
+        Packet pf;
+        pf.vaddr = blockAlign(pf_vaddr);
+        pf.paddr = blockAlign(pf_paddr);
+        pf.ip = pkt.ip;
+        pf.type = AccessType::Prefetch;
+        pf.core = pkt.core;
+        pf.fill_level = fill_level;
+        pf.pf_metadata = cand.metadata;
+        pf.pred_meta = meta;
+        pf.birth = now;
+        pq_.push_back({pf, now + 1});
+        pf_issued_->add();
+    }
+}
+
+bool
+Cache::processRead(TimedPacket &entry, Cycle now)
+{
+    Packet &pkt = entry.pkt;
+    Block *blk = lookup(pkt.paddr, true);
+
+    if (blk != nullptr) {
+        countAccess(pkt.type, true);
+        bool prefetch_hit = blk->prefetched;
+        if (pkt.isDemand() && blk->prefetched) {
+            blk->prefetched = false;
+            pf_useful_->add();
+            pf_useful_from_[levelIndex(blk->pf_served_from)]->add();
+            if (params_.filter != nullptr)
+                params_.filter->onDemandHitPrefetched(pkt.paddr, pkt.ip);
+        }
+        if (pkt.isDemand())
+            notifyPrefetcher(pkt, true, prefetch_hit, now);
+        respond(pkt, params_.level);
+        return true;
+    }
+
+    countAccess(pkt.type, false);
+
+    // FLP selective delay: the prediction was deferred to L1D-miss time.
+    if (pkt.type == AccessType::Load && pkt.delayed_offchip_flag
+        && params_.spec_dram != nullptr) {
+        Packet spec = pkt;
+        spec.spec_dram = true;
+        spec.delayed_offchip_flag = false;
+        spec.birth = now + params_.spec_latency;
+        spec_delay_.push_back({spec, spec.birth});
+        spec_delayed_issued_->add();
+        if (params_.on_spec_issued)
+            params_.on_spec_issued(spec);
+    }
+
+    if (Mshr *mshr = findMshr(pkt.paddr)) {
+        if (pkt.isDemand() && mshr->type == AccessType::Prefetch)
+            mshr->demand_merged = true;
+        mshr->waiters.push_back(pkt);
+        mshr_merge_->add();
+        if (pkt.isDemand()) {
+            notifyPrefetcher(pkt, false, false, now);
+            if (params_.filter != nullptr)
+                params_.filter->onDemandMiss(pkt.paddr, pkt.ip);
+        }
+        return true;
+    }
+
+    if (mshrs_.size() >= params_.mshrs)
+        return false;
+
+    Packet fwd = pkt;
+    fwd.requestor = this;
+    fwd.req_id = blockNumber(pkt.paddr);
+    fwd.birth = now;
+    bool sent = pkt.type == AccessType::Prefetch ? lower_->sendPrefetch(fwd)
+                                                 : lower_->sendRead(fwd);
+    if (!sent)
+        return false;
+
+    Mshr mshr;
+    mshr.block = blockNumber(pkt.paddr);
+    mshr.type = pkt.type;
+    mshr.primary = pkt;
+    mshrs_.push_back(std::move(mshr));
+
+    if (pkt.isDemand()) {
+        notifyPrefetcher(pkt, false, false, now);
+        if (params_.filter != nullptr)
+            params_.filter->onDemandMiss(pkt.paddr, pkt.ip);
+    }
+    return true;
+}
+
+bool
+Cache::processWrite(TimedPacket &entry, Cycle now)
+{
+    Packet &pkt = entry.pkt;
+    Block *blk = lookup(pkt.paddr, true);
+
+    if (blk != nullptr) {
+        countAccess(pkt.type, true);
+        if (pkt.isDemand() && blk->prefetched) {
+            blk->prefetched = false;
+            pf_useful_->add();
+            pf_useful_from_[levelIndex(blk->pf_served_from)]->add();
+            if (params_.filter != nullptr)
+                params_.filter->onDemandHitPrefetched(pkt.paddr, pkt.ip);
+        }
+        blk->dirty = true;
+        if (pkt.isDemand())
+            notifyPrefetcher(pkt, true, false, now);
+        return true;
+    }
+
+    countAccess(pkt.type, false);
+
+    if (pkt.type == AccessType::Writeback) {
+        // Writeback miss: allocate directly, no downstream fetch.
+        Packet inst = pkt;
+        inst.type = AccessType::Load;   // force allocation at this level
+        if (!install(inst, now))
+            return false;
+        Block *nb = lookup(pkt.paddr, false);
+        nb->dirty = true;
+        return true;
+    }
+
+    // Store (RFO) miss at L1D: fetch the line, dirty it on fill.
+    if (Mshr *mshr = findMshr(pkt.paddr)) {
+        mshr->dirty_on_fill = true;
+        if (mshr->type == AccessType::Prefetch)
+            mshr->demand_merged = true;
+        mshr->waiters.push_back(pkt);
+        mshr_merge_->add();
+        notifyPrefetcher(pkt, false, false, now);
+        return true;
+    }
+    if (mshrs_.size() >= params_.mshrs)
+        return false;
+
+    Packet fwd = pkt;
+    fwd.type = AccessType::Rfo;
+    fwd.requestor = this;
+    fwd.req_id = blockNumber(pkt.paddr);
+    fwd.birth = now;
+    if (!lower_->sendRead(fwd))
+        return false;
+
+    Mshr mshr;
+    mshr.block = blockNumber(pkt.paddr);
+    mshr.type = AccessType::Rfo;
+    mshr.dirty_on_fill = true;
+    mshr.primary = pkt;
+    mshrs_.push_back(std::move(mshr));
+    notifyPrefetcher(pkt, false, false, now);
+    if (params_.filter != nullptr)
+        params_.filter->onDemandMiss(pkt.paddr, pkt.ip);
+    return true;
+}
+
+bool
+Cache::processPrefetch(TimedPacket &entry, Cycle now)
+{
+    Packet &pkt = entry.pkt;
+
+    // Pass-through prefetch (fills a deeper level only).
+    if (params_.level_num < pkt.fill_level) {
+        if (lookup(pkt.paddr, false) != nullptr) {
+            pf_dup_->add();
+            return true;
+        }
+        Packet fwd = pkt;
+        fwd.birth = now;
+        return lower_->sendPrefetch(fwd);
+    }
+
+    Block *blk = lookup(pkt.paddr, true);
+    // Prefetches arriving from the level above act as training accesses
+    // for this level's prefetcher (ChampSim semantics): this is how SPP
+    // at L2 runs ahead of the L1D prefetch stream.
+    if (pkt.requestor != nullptr)
+        notifyPrefetcher(pkt, blk != nullptr, false, now);
+    if (blk != nullptr) {
+        countAccess(AccessType::Prefetch, true);
+        if (pkt.requestor != nullptr)
+            respond(pkt, params_.level);
+        else
+            pf_dup_->add();
+        return true;
+    }
+    countAccess(AccessType::Prefetch, false);
+
+    if (Mshr *mshr = findMshr(pkt.paddr)) {
+        if (pkt.requestor != nullptr) {
+            mshr->waiters.push_back(pkt);
+            mshr_merge_->add();
+        } else {
+            pf_dup_->add();
+        }
+        return true;
+    }
+    if (mshrs_.size() >= params_.mshrs)
+        return false;
+
+    Packet fwd = pkt;
+    fwd.requestor = this;
+    fwd.req_id = blockNumber(pkt.paddr);
+    fwd.birth = now;
+    if (!lower_->sendPrefetch(fwd))
+        return false;
+
+    Mshr mshr;
+    mshr.block = blockNumber(pkt.paddr);
+    mshr.type = AccessType::Prefetch;
+    mshr.primary = pkt;
+    mshrs_.push_back(std::move(mshr));
+    return true;
+}
+
+void
+Cache::flushSpecDelay(Cycle now)
+{
+    while (!spec_delay_.empty() && spec_delay_.front().ready_at <= now) {
+        params_.spec_dram->sendRead(spec_delay_.front().pkt);
+        spec_delay_.pop_front();
+    }
+}
+
+void
+Cache::tick(Cycle now)
+{
+    now_ = now;
+    processFills(now);
+    if (!spec_delay_.empty())
+        flushSpecDelay(now);
+
+    unsigned budget = params_.lookups_per_cycle;
+    while (budget > 0 && !rq_.empty() && rq_.front().ready_at <= now) {
+        if (!processRead(rq_.front(), now))
+            break;
+        rq_.pop_front();
+        --budget;
+    }
+    while (budget > 0 && !wq_.empty() && wq_.front().ready_at <= now) {
+        if (!processWrite(wq_.front(), now))
+            break;
+        wq_.pop_front();
+        --budget;
+    }
+    while (budget > 0 && !pq_.empty() && pq_.front().ready_at <= now) {
+        if (!processPrefetch(pq_.front(), now))
+            break;
+        pq_.pop_front();
+        --budget;
+    }
+}
+
+} // namespace tlpsim

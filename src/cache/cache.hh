@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Set-associative write-back cache with MSHRs, read/write/prefetch queues,
+ * LRU replacement, prefetcher + filter hooks, and the FLP delayed
+ * speculative-DRAM path.
+ *
+ * Timing model (ChampSim-class): a request entering a queue becomes
+ * eligible for tag lookup after the cache's access latency; hits respond
+ * at lookup time, misses allocate an MSHR and forward downstream, and
+ * fills respond to all merged waiters the cycle they are installed.
+ *
+ * Prefetch fill levels: a prefetch packet carries the *lowest* level that
+ * should allocate it (1=L1D, 2=L2C, 3=LLC). Every level at or below its
+ * own number allocates the line on the fill path, as in ChampSim.
+ */
+
+#ifndef TLPSIM_CACHE_CACHE_HH
+#define TLPSIM_CACHE_CACHE_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class DramController;
+
+class Cache : public MemoryBackend, public MemoryClient
+{
+  public:
+    /** Translates a virtual prefetch address (L1D only). */
+    using Translator = std::function<Addr(std::uint8_t core, Addr vaddr)>;
+    /** Notified when this cache issues a delayed speculative DRAM read. */
+    using SpecHook = std::function<void(const Packet &)>;
+
+    struct Params
+    {
+        std::string name = "cache";
+        MemLevel level = MemLevel::L1D;
+        /** Numeric level for fill decisions: 1=L1, 2=L2, 3=LLC. */
+        unsigned level_num = 1;
+        unsigned sets = 64;
+        unsigned ways = 8;
+        unsigned latency = 4;
+        unsigned mshrs = 10;
+        unsigned rq_size = 32;
+        unsigned wq_size = 32;
+        unsigned pq_size = 16;
+        /** Tag lookups per cycle across RQ/WQ/PQ. */
+        unsigned lookups_per_cycle = 4;
+        /** Allow demand loads hitting here to serve (always true). */
+        Prefetcher *prefetcher = nullptr;
+        PrefetchFilter *filter = nullptr;
+        /** L1D only: translate virtual prefetch candidates. */
+        Translator translator;
+        /** L1D only: DRAM controller for delayed FLP speculative reads. */
+        DramController *spec_dram = nullptr;
+        /** Extra cycles between miss detection and spec issue (paper: 6). */
+        unsigned spec_latency = 6;
+        SpecHook on_spec_issued;
+    };
+
+    Cache(const Params &p, MemoryBackend *lower, StatGroup *stats);
+
+    // MemoryBackend
+    bool sendRead(const Packet &pkt) override;
+    bool sendWrite(const Packet &pkt) override;
+    bool sendPrefetch(const Packet &pkt) override;
+    bool probe(Addr paddr) const override;
+    void tick(Cycle now) override;
+
+    // MemoryClient (fills returning from the lower level)
+    void memReturn(const Packet &pkt) override;
+
+    const Params &params() const { return params_; }
+
+    /** Demand misses outstanding (used by tests). */
+    std::size_t mshrsInUse() const { return mshrs_.size(); }
+
+    /** Storage of data+tag arrays (for the Fig. 17 budget bench). */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;            ///< block number
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false; ///< filled by a prefetch, not yet used
+        MemLevel pf_served_from = MemLevel::None;
+        std::uint64_t lru = 0;
+    };
+
+    struct Mshr
+    {
+        Addr block = 0;          ///< block number
+        AccessType type = AccessType::Load;   ///< promoted on demand merge
+        bool demand_merged = false;           ///< late prefetch marker
+        bool dirty_on_fill = false;           ///< store miss: dirty the fill
+        Packet primary;          ///< first packet (carries pred_meta)
+        std::vector<Packet> waiters;
+    };
+
+    struct TimedPacket
+    {
+        Packet pkt;
+        Cycle ready_at;
+    };
+
+    Block *lookup(Addr paddr, bool update_lru);
+    Block &victimFor(Addr paddr);
+    Mshr *findMshr(Addr paddr);
+
+    void processFills(Cycle now);
+    bool processRead(TimedPacket &entry, Cycle now);
+    bool processWrite(TimedPacket &entry, Cycle now);
+    bool processPrefetch(TimedPacket &entry, Cycle now);
+    void flushSpecDelay(Cycle now);
+
+    /** Install @p pkt's block; false if blocked on a full lower WQ. */
+    bool install(const Packet &pkt, Cycle now);
+
+    void respond(Packet pkt, MemLevel served_by);
+    void notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
+                          Cycle now);
+    void classifyEviction(const Block &blk);
+    void countAccess(AccessType type, bool hit);
+
+    Params params_;
+    MemoryBackend *lower_;
+    StatGroup *stats_;
+
+    std::vector<Block> blocks_;
+    std::vector<Mshr> mshrs_;
+    std::deque<TimedPacket> rq_;
+    std::deque<TimedPacket> wq_;
+    std::deque<TimedPacket> pq_;
+    std::deque<TimedPacket> fills_;
+    std::deque<TimedPacket> spec_delay_;
+    std::vector<PrefetchCandidate> cand_buf_;
+    std::uint64_t lru_clock_ = 0;
+    Cycle now_ = 0;
+
+    // Per-type hit/miss counters, indexed by AccessType.
+    Counter *hit_[5];
+    Counter *miss_[5];
+    Counter *mshr_merge_;
+    Counter *pf_issued_;
+    Counter *pf_filtered_;
+    Counter *pf_dropped_queue_;
+    Counter *pf_dup_;
+    Counter *pf_useful_;
+    Counter *pf_useless_;
+    Counter *pf_late_;
+    Counter *writebacks_;
+    Counter *spec_delayed_issued_;
+    // Usefulness bucketed by where the prefetch was served from
+    // (index by MemLevel: L1D unused, L2C, LLC, Dram).
+    Counter *pf_useful_from_[4];
+    Counter *pf_useless_from_[4];
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_CACHE_CACHE_HH

@@ -1,0 +1,42 @@
+#include "common/stats.hh"
+
+namespace tlpsim
+{
+
+Counter *
+StatGroup::counter(const std::string &name)
+{
+    return &counters_[name];
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+} // namespace tlpsim

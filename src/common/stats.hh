@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Components own named Counter objects registered into a StatGroup; the
+ * simulator aggregates groups per core / per cache and experiment code reads
+ * them by name. Deliberately simple — no formulas, just counters and a few
+ * derived helpers — because experiment math lives in sim/experiment.cc
+ * where it is unit-tested.
+ */
+
+#ifndef TLPSIM_COMMON_STATS_HH
+#define TLPSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tlpsim
+{
+
+/** A single monotonically increasing statistic. */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Named collection of counters. Components register counters at
+ * construction time; names are hierarchical by convention
+ * ("l1d.load_miss", "dram.transactions").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Register (or fetch) a counter under @p name. Pointer stays valid. */
+    Counter *counter(const std::string &name);
+
+    /** Value of a counter, 0 if it was never registered. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True iff a counter with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset every counter (used at the warmup/measure boundary). */
+    void resetAll();
+
+    /** All (name, value) pairs, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    // map (not unordered) so dump() is sorted and pointers are stable.
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_STATS_HH

@@ -1,0 +1,38 @@
+#include "common/storage.hh"
+
+#include <cstdio>
+
+namespace tlpsim
+{
+
+std::uint64_t
+StorageBudget::totalBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &i : items_)
+        total += i.bits;
+    return total;
+}
+
+std::string
+StorageBudget::toTable(const std::string &title) const
+{
+    std::string out;
+    out += title + "\n";
+    std::size_t width = 4;
+    for (const auto &i : items_)
+        width = std::max(width, i.name.size());
+    char buf[256];
+    for (const auto &i : items_) {
+        std::snprintf(buf, sizeof(buf), "  %-*s %10.2f KB (%llu bits)\n",
+                      static_cast<int>(width), i.name.c_str(), i.kilobytes(),
+                      static_cast<unsigned long long>(i.bits));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-*s %10.2f KB\n",
+                  static_cast<int>(width), "TOTAL", totalKilobytes());
+    out += buf;
+    return out;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Storage accounting for hardware structures.
+ *
+ * The paper's Table II reports TLP's cost as 6.98 KB broken down by
+ * component. Every predictor in tlpsim reports its storage through this
+ * interface and bench/table2_storage regenerates the table from the live
+ * configuration, so the budget can never silently drift from the code.
+ */
+
+#ifndef TLPSIM_COMMON_STORAGE_HH
+#define TLPSIM_COMMON_STORAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlpsim
+{
+
+/** One line of a storage budget: a named bit count. */
+struct StorageItem
+{
+    std::string name;
+    std::uint64_t bits;
+
+    double kilobytes() const { return static_cast<double>(bits) / 8.0 / 1024.0; }
+};
+
+/** A component's storage breakdown. */
+class StorageBudget
+{
+  public:
+    void
+    add(const std::string &name, std::uint64_t bits)
+    {
+        items_.push_back({name, bits});
+    }
+
+    void
+    merge(const StorageBudget &other, const std::string &prefix)
+    {
+        for (const auto &i : other.items_)
+            items_.push_back({prefix + i.name, i.bits});
+    }
+
+    std::uint64_t totalBits() const;
+    double totalKilobytes() const { return static_cast<double>(totalBits()) / 8192.0; }
+
+    const std::vector<StorageItem> &items() const { return items_; }
+
+    /** Render as an aligned text table (used by bench/table2_storage). */
+    std::string toTable(const std::string &title) const;
+
+  private:
+    std::vector<StorageItem> items_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_STORAGE_HH

@@ -1,0 +1,32 @@
+#include "common/types.hh"
+
+namespace tlpsim
+{
+
+const char *
+toString(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "load";
+      case AccessType::Rfo: return "rfo";
+      case AccessType::Prefetch: return "prefetch";
+      case AccessType::Writeback: return "writeback";
+      case AccessType::Translation: return "translation";
+    }
+    return "?";
+}
+
+const char *
+toString(MemLevel l)
+{
+    switch (l) {
+      case MemLevel::L1D: return "L1D";
+      case MemLevel::L2C: return "L2C";
+      case MemLevel::LLC: return "LLC";
+      case MemLevel::Dram: return "DRAM";
+      case MemLevel::None: return "none";
+    }
+    return "?";
+}
+
+} // namespace tlpsim

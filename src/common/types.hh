@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fundamental scalar types and address-geometry constants shared by every
+ * tlpsim module.
+ */
+
+#ifndef TLPSIM_COMMON_TYPES_HH
+#define TLPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlpsim
+{
+
+/** Byte address (virtual or physical, context dependent). */
+using Addr = std::uint64_t;
+
+/** Core clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Retired-instruction count. */
+using InstrCount = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled yet / never". */
+constexpr Cycle kCycleNever = ~Cycle{0};
+
+/** Cache block geometry: 64-byte lines. */
+constexpr unsigned kBlockBits = 6;
+constexpr Addr kBlockSize = Addr{1} << kBlockBits;
+constexpr Addr kBlockMask = kBlockSize - 1;
+
+/** Page geometry: 4 KiB pages, 64 lines per page. */
+constexpr unsigned kPageBits = 12;
+constexpr Addr kPageSize = Addr{1} << kPageBits;
+constexpr Addr kPageMask = kPageSize - 1;
+constexpr unsigned kLinesPerPage = 1u << (kPageBits - kBlockBits);
+
+/** Extract the cache-block-aligned address. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~kBlockMask;
+}
+
+/** Extract the block number (address >> 6). */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> kBlockBits;
+}
+
+/** Extract the page number (address >> 12). */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageBits;
+}
+
+/** Offset of the block within its page, in [0, 64). */
+constexpr unsigned
+lineOffsetInPage(Addr a)
+{
+    return static_cast<unsigned>((a >> kBlockBits) & (kLinesPerPage - 1));
+}
+
+/** Byte offset within the cache block, in [0, 64). */
+constexpr unsigned
+byteOffsetInBlock(Addr a)
+{
+    return static_cast<unsigned>(a & kBlockMask);
+}
+
+/**
+ * Classification of memory requests as they move through the hierarchy.
+ * Mirrors ChampSim's access types.
+ */
+enum class AccessType : std::uint8_t
+{
+    Load,          ///< demand data load
+    Rfo,           ///< store miss fetch (read-for-ownership)
+    Prefetch,      ///< hardware prefetch
+    Writeback,     ///< dirty eviction
+    Translation,   ///< page-table walk access
+};
+
+/** Where in the hierarchy a request was ultimately served. */
+enum class MemLevel : std::uint8_t
+{
+    L1D,
+    L2C,
+    LLC,
+    Dram,
+    None,   ///< not (yet) served
+};
+
+/** Printable name for an AccessType. */
+const char *toString(AccessType t);
+
+/** Printable name for a MemLevel. */
+const char *toString(MemLevel l);
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_TYPES_HH

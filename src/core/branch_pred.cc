@@ -1,0 +1,58 @@
+#include "core/branch_pred.hh"
+
+#include "common/bitops.hh"
+
+namespace tlpsim
+{
+
+namespace
+{
+
+std::vector<HashedPerceptron::TableSpec>
+bpredTables(const BranchPredictor::Params &p)
+{
+    std::vector<HashedPerceptron::TableSpec> specs;
+    for (unsigned t = 0; t < p.num_tables; ++t)
+        specs.push_back({"ghist" + std::to_string(t), p.table_entries});
+    return specs;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const Params &p, StatGroup *stats)
+    : params_(p), perceptron_(p.name, bpredTables(p), p.training_threshold),
+      correct_(stats->counter(p.name + ".correct")),
+      mispredict_(stats->counter(p.name + ".mispredict"))
+{
+}
+
+void
+BranchPredictor::computeIndices(Addr ip, std::uint16_t *out) const
+{
+    // Table t sees the PC hashed with an 8-bit slice of global history;
+    // table 0 is history-free (bias + PC).
+    for (unsigned t = 0; t < params_.num_tables; ++t) {
+        std::uint64_t hist_slice = t == 0 ? 0 : bits(ghist_, (t - 1) * 8, 8);
+        std::uint64_t v = (ip >> 2) ^ (hist_slice << (t & 3))
+            ^ (hist_slice * 0x9e37);
+        out[t] = perceptron_.indexFor(t, v);
+    }
+}
+
+bool
+BranchPredictor::predictAndTrain(Addr ip, bool taken)
+{
+    std::uint16_t index[16];
+    computeIndices(ip, index);
+    int sum = perceptron_.predict(index, params_.num_tables);
+    bool predicted_taken = sum >= 0;
+
+    perceptron_.train(index, params_.num_tables, sum, taken, 0);
+    ghist_ = (ghist_ << 1) | static_cast<std::uint64_t>(taken);
+
+    bool ok = predicted_taken == taken;
+    (ok ? correct_ : mispredict_)->add();
+    return ok;
+}
+
+} // namespace tlpsim

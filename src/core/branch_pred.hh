@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hashed-perceptron conditional branch predictor (Table III), built on the
+ * shared perceptron infrastructure. Features are PC hashes combined with
+ * segments of the global history register, following Jiménez's hashed
+ * perceptron used as ChampSim's default predictor.
+ */
+
+#ifndef TLPSIM_CORE_BRANCH_PRED_HH
+#define TLPSIM_CORE_BRANCH_PRED_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "offchip/perceptron.hh"
+
+namespace tlpsim
+{
+
+class BranchPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned num_tables = 8;
+        unsigned table_entries = 1024;
+        int training_threshold = 20;
+        std::string name = "bpred";
+    };
+
+    BranchPredictor(const Params &p, StatGroup *stats);
+    explicit BranchPredictor(StatGroup *stats)
+        : BranchPredictor(Params{}, stats)
+    {}
+
+    /**
+     * Predict @p ip, train with the trace outcome @p taken, advance the
+     * global history. Returns true iff the prediction was correct.
+     */
+    bool predictAndTrain(Addr ip, bool taken);
+
+    StorageBudget storage() const { return perceptron_.storage(); }
+
+  private:
+    void computeIndices(Addr ip, std::uint16_t *out) const;
+
+    Params params_;
+    HashedPerceptron perceptron_;
+    std::uint64_t ghist_ = 0;
+    Counter *correct_;
+    Counter *mispredict_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_CORE_BRANCH_PRED_HH

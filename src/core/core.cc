@@ -1,0 +1,401 @@
+#include "core/core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "mem/dram.hh"
+
+namespace tlpsim
+{
+
+Core::Core(const Params &p, const Ports &ports, StatGroup *stats)
+    : params_(p), ports_(ports),
+      bpred_({8, 1024, 20, p.name + ".bpred"}, stats),
+      rob_(p.rob_size), regs_(kNumRegs),
+      instrs_(stats->counter(p.name + ".instrs")),
+      loads_(stats->counter(p.name + ".loads")),
+      stores_(stats->counter(p.name + ".stores")),
+      branches_(stats->counter(p.name + ".branches")),
+      ifetch_stalls_(stats->counter(p.name + ".ifetch_stalls")),
+      rob_full_(stats->counter(p.name + ".rob_full")),
+      fwd_loads_(stats->counter(p.name + ".forwarded_loads")),
+      walks_(stats->counter(p.name + ".page_walks")),
+      spec_from_core_(stats->counter(p.name + ".spec_from_core"))
+{
+    issue_list_.reserve(p.lq_size);
+}
+
+bool
+Core::fetchBlocked(Cycle now) const
+{
+    return fetch_block_tokens_ > 0 || now < fetch_stall_until_;
+}
+
+void
+Core::tick(Cycle now)
+{
+    now_ = now;
+    retire(now);
+    issueLoads(now);
+    if (!spec_delay_.empty())
+        flushSpecDelay(now);
+    fetchAndDispatch(now);
+}
+
+void
+Core::fetchAndDispatch(Cycle now)
+{
+    if (ifetch_.waiting) {
+        ifetch_stalls_->add();
+        return;
+    }
+    for (unsigned f = 0; f < params_.fetch_width; ++f) {
+        if (fetchBlocked(now))
+            break;
+        if (rob_tail_ - rob_head_ >= rob_.size()) {
+            rob_full_->add();
+            break;
+        }
+        const TraceInstr &peeked = ports_.trace->peek();
+        if (peeked.isLoad() && loads_in_flight_ >= params_.lq_size)
+            break;
+        if (peeked.isStore() && stores_in_flight_ >= params_.sq_size)
+            break;
+
+        // Instruction fetch at cache-line granularity.
+        Addr line = blockNumber(peeked.ip);
+        if (line != ifetch_.last_line) {
+            Addr ipa = ports_.page_table->translate(params_.id, peeked.ip);
+            if (!ports_.l1i->probe(ipa)) {
+                Packet p;
+                p.vaddr = peeked.ip;
+                p.paddr = ipa;
+                p.ip = peeked.ip;
+                p.type = AccessType::Load;
+                p.core = static_cast<std::uint8_t>(params_.id);
+                p.requestor = this;
+                p.req_id = kIfetchReqId;
+                p.birth = now;
+                if (ports_.l1i->sendRead(p)) {
+                    ifetch_.waiting = true;
+                    ifetch_.last_line = line;
+                }
+                ifetch_stalls_->add();
+                break;
+            }
+            ifetch_.last_line = line;
+        }
+
+        TraceInstr instr = ports_.trace->next();
+        dispatch(instr, now);
+    }
+}
+
+void
+Core::dispatch(const TraceInstr &instr, Cycle now)
+{
+    std::uint32_t slot = robIndex(rob_tail_++);
+    RobEntry &e = rob_[slot];
+    e.ip = instr.ip;
+    e.ld_vaddr = instr.ld_vaddr;
+    e.st_vaddr = instr.st_vaddr;
+    e.dst = instr.dst;
+    e.unresolved = 0;
+    e.is_load = instr.isLoad();
+    e.is_store = instr.isStore();
+    e.mispredicted_branch = false;
+    e.ready = now + 1;
+    e.done = 0;
+    e.serial = next_serial_++;
+    e.load_id = 0;
+    e.dependents.clear();
+
+    for (RegId r : {instr.src0, instr.src1}) {
+        if (r == kNoReg)
+            continue;
+        RegState &rs = regs_[r];
+        if (rs.producer_slot >= 0
+            && rob_[static_cast<std::uint32_t>(rs.producer_slot)].serial
+                   == rs.producer_serial) {
+            rob_[static_cast<std::uint32_t>(rs.producer_slot)]
+                .dependents.push_back(slot);
+            ++e.unresolved;
+        } else {
+            e.ready = std::max(e.ready, rs.ready);
+        }
+    }
+    if (e.dst != kNoReg) {
+        regs_[e.dst] = {0, static_cast<std::int32_t>(slot), e.serial};
+    }
+
+    if (instr.branch == BranchKind::Conditional) {
+        branches_->add();
+        bool correct = bpred_.predictAndTrain(instr.ip, instr.taken);
+        if (!correct) {
+            e.mispredicted_branch = true;
+            ++fetch_block_tokens_;   // released when the branch resolves
+        }
+    }
+    if (e.is_load) {
+        loads_->add();
+        ++loads_in_flight_;
+        e.load_id = next_load_id_++;
+    }
+    if (e.is_store) {
+        stores_->add();
+        ++stores_in_flight_;
+        ++pending_store_words_[e.st_vaddr >> 3];
+    }
+
+    if (e.unresolved == 0)
+        scheduleExec(slot, now);
+    else
+        e.state = State::WaitOps;
+}
+
+void
+Core::scheduleExec(std::uint32_t slot, Cycle now)
+{
+    RobEntry &e = rob_[slot];
+    if (e.is_load) {
+        e.state = State::WaitIssue;
+        issue_list_.push_back(slot);
+        return;
+    }
+    complete(slot, std::max(e.ready, now) + 1);
+}
+
+void
+Core::complete(std::uint32_t slot, Cycle done_cycle)
+{
+    RobEntry &e = rob_[slot];
+    e.state = State::Done;
+    e.done = done_cycle;
+    if (e.mispredicted_branch) {
+        fetch_stall_until_ = std::max(
+            fetch_stall_until_, done_cycle + params_.mispredict_penalty);
+        assert(fetch_block_tokens_ > 0);
+        --fetch_block_tokens_;
+        e.mispredicted_branch = false;
+    }
+    if (e.dst != kNoReg) {
+        RegState &rs = regs_[e.dst];
+        if (rs.producer_slot == static_cast<std::int32_t>(slot)
+            && rs.producer_serial == e.serial) {
+            rs = {done_cycle, -1, 0};
+        }
+    }
+    if (!e.dependents.empty()) {
+        // Move out: resolveOperand may recurse into complete().
+        std::vector<std::uint32_t> deps;
+        deps.swap(e.dependents);
+        for (std::uint32_t dep : deps)
+            resolveOperand(dep, done_cycle, now_);
+    }
+}
+
+void
+Core::resolveOperand(std::uint32_t slot, Cycle ready_cycle, Cycle now)
+{
+    RobEntry &e = rob_[slot];
+    e.ready = std::max(e.ready, ready_cycle);
+    assert(e.unresolved > 0);
+    if (--e.unresolved == 0)
+        scheduleExec(slot, now);
+}
+
+void
+Core::issueLoads(Cycle now)
+{
+    unsigned ports = params_.load_ports;
+    for (std::size_t i = 0; i < issue_list_.size() && ports > 0;) {
+        std::uint32_t slot = issue_list_[i];
+        RobEntry &e = rob_[slot];
+        if (e.state != State::WaitIssue) {
+            issue_list_[i] = issue_list_.back();
+            issue_list_.pop_back();
+            continue;
+        }
+        if (e.ready > now) {
+            ++i;
+            continue;
+        }
+        if (issueOneLoad(slot, now)) {
+            issue_list_[i] = issue_list_.back();
+            issue_list_.pop_back();
+            --ports;
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+Core::issueOneLoad(std::uint32_t slot, Cycle now)
+{
+    RobEntry &e = rob_[slot];
+    const Addr vaddr = e.ld_vaddr;
+
+    // Store-to-load forwarding (word granularity).
+    if (pending_store_words_.count(vaddr >> 3) != 0) {
+        fwd_loads_->add();
+        complete(slot, now + 1);
+        return true;
+    }
+
+    auto tr = ports_.tlbs->lookup(vaddr);
+    if (tr.needs_walk) {
+        Addr vpn = pageNumber(vaddr);
+        auto it = walk_inflight_.find(vpn);
+        if (it != walk_inflight_.end()) {
+            // A walk for this page is already outstanding: piggyback.
+            it->second.waiters.emplace_back(slot, e.serial);
+            e.state = State::WaitWalk;
+            return true;
+        }
+        Packet walk;
+        walk.paddr = ports_.page_table->pteAddress(params_.id, vaddr);
+        walk.vaddr = walk.paddr;
+        walk.ip = e.ip;
+        walk.type = AccessType::Translation;
+        walk.core = static_cast<std::uint8_t>(params_.id);
+        walk.requestor = this;
+        walk.req_id = vpn;
+        walk.birth = now + ports_.tlbs->missLatency();
+        if (!ports_.walk_target->sendRead(walk))
+            return false;   // retry next cycle
+        walks_->add();
+        walk_inflight_[vpn] = {vaddr, {{slot, e.serial}}};
+        e.state = State::WaitWalk;
+        return true;
+    }
+
+    OffChipPredictor::Decision d;
+    if (ports_.offchip != nullptr)
+        d = ports_.offchip->predictLoad(e.ip, vaddr);
+
+    Addr paddr = ports_.page_table->translate(params_.id, vaddr);
+
+    Packet pkt;
+    pkt.vaddr = vaddr;
+    pkt.paddr = paddr;
+    pkt.ip = e.ip;
+    pkt.type = AccessType::Load;
+    pkt.core = static_cast<std::uint8_t>(params_.id);
+    pkt.offchip_pred = d.predicted_offchip;
+    pkt.delayed_offchip_flag = d.delayed_flag;
+    pkt.requestor = this;
+    pkt.req_id = e.load_id;
+    pkt.birth = now + (tr.latency > 0 ? tr.latency - 1 : 0);
+    if (!ports_.l1d->sendRead(pkt))
+        return false;   // L1D read queue full: retry
+
+    if (d.spec_now && ports_.dram != nullptr) {
+        Packet spec = pkt;
+        spec.spec_dram = true;
+        spec.delayed_offchip_flag = false;
+        spec.birth = now + tr.latency + params_.spec_latency;
+        spec_delay_.emplace_back(spec.birth, spec);
+        spec_from_core_->add();
+        if (ports_.on_spec_issued)
+            ports_.on_spec_issued(spec);
+    }
+
+    inflight_loads_[e.load_id] = {slot, e.serial, d.meta, false};
+    e.state = State::WaitMem;
+    return true;
+}
+
+void
+Core::flushSpecDelay(Cycle now)
+{
+    while (!spec_delay_.empty() && spec_delay_.front().first <= now) {
+        ports_.dram->sendRead(spec_delay_.front().second);
+        spec_delay_.pop_front();
+    }
+}
+
+void
+Core::retire(Cycle now)
+{
+    for (unsigned n = 0; n < params_.retire_width && rob_head_ != rob_tail_;
+         ++n) {
+        std::uint32_t slot = robIndex(rob_head_);
+        RobEntry &e = rob_[slot];
+        if (e.state != State::Done || e.done > now)
+            break;
+        if (e.is_store) {
+            Packet w;
+            w.vaddr = e.st_vaddr;
+            w.paddr = ports_.page_table->translate(params_.id, e.st_vaddr);
+            w.ip = e.ip;
+            w.type = AccessType::Rfo;
+            w.core = static_cast<std::uint8_t>(params_.id);
+            w.birth = now;
+            if (!ports_.l1d->sendWrite(w))
+                break;   // L1D write queue full: stall retire
+            // Keep the TLB contents warm for stores without modelling a
+            // second walk (store translation overlaps with the ROB wait).
+            auto tr = ports_.tlbs->lookup(e.st_vaddr);
+            if (tr.needs_walk)
+                ports_.tlbs->fill(e.st_vaddr);
+            auto it = pending_store_words_.find(e.st_vaddr >> 3);
+            if (it != pending_store_words_.end() && --it->second == 0)
+                pending_store_words_.erase(it);
+            --stores_in_flight_;
+        }
+        if (e.is_load) {
+            assert(loads_in_flight_ > 0);
+            --loads_in_flight_;
+        }
+        ++rob_head_;
+        ++retired_;
+        instrs_->add();
+    }
+}
+
+void
+Core::memReturn(const Packet &pkt)
+{
+    if (pkt.req_id == kIfetchReqId) {
+        ifetch_.waiting = false;
+        return;
+    }
+    if (pkt.type == AccessType::Translation) {
+        auto it = walk_inflight_.find(pkt.req_id);
+        if (it == walk_inflight_.end())
+            return;
+        WalkInflight walk = std::move(it->second);
+        walk_inflight_.erase(it);
+        ports_.tlbs->fill(walk.vaddr);
+        for (auto [slot, serial] : walk.waiters) {
+            RobEntry &e = rob_[slot];
+            if (e.serial == serial && e.state == State::WaitWalk) {
+                e.state = State::WaitIssue;
+                e.ready = std::max(e.ready, now_ + 1);
+                issue_list_.push_back(slot);
+            }
+        }
+        return;
+    }
+
+    auto it = inflight_loads_.find(pkt.req_id);
+    if (it == inflight_loads_.end())
+        return;   // stale speculative response
+    LoadTraining &lt = it->second;
+    if (!lt.data_done) {
+        lt.data_done = true;
+        RobEntry &e = rob_[lt.rob_slot];
+        if (e.serial == lt.serial && e.state == State::WaitMem)
+            complete(lt.rob_slot, now_ + 1);
+    }
+    if (!pkt.spec_dram) {
+        // Only the demand response knows the true serve level (paper:
+        // FLP trains when the load returns to the core).
+        if (ports_.offchip != nullptr)
+            ports_.offchip->train(lt.meta, pkt.served_by == MemLevel::Dram);
+        inflight_loads_.erase(it);
+    }
+}
+
+} // namespace tlpsim

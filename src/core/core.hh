@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Trace-driven out-of-order core (Table III: 3.8 GHz, 4-wide, 6-stage,
+ * 224-entry ROB), in the ChampSim modelling style.
+ *
+ * The core consumes retired-instruction records, renames their register
+ * dependencies onto a producer/consumer wakeup graph, and models:
+ *   - 4-wide fetch/dispatch gated by L1I misses and branch mispredictions
+ *     (hashed-perceptron predictor; mispredicts stall fetch until the
+ *     branch resolves plus a refill penalty);
+ *   - dataflow execution: ALU ops complete ready+1, loads walk
+ *     DTLB/STLB (page walks become Translation reads into the L2) and
+ *     access the L1D, stores commit their write at retire;
+ *   - store-to-load forwarding via a pending-store address map;
+ *   - the off-chip prediction hook: FLP/Hermes are consulted when a
+ *     load's address is known; "immediate" decisions fire a speculative
+ *     DRAM read from the core (6-cycle predictor latency), "delayed"
+ *     decisions tag the demand packet for issue-on-L1D-miss; training
+ *     runs when the *demand* response returns with the true serve level.
+ */
+
+#ifndef TLPSIM_CORE_CORE_HH
+#define TLPSIM_CORE_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/branch_pred.hh"
+#include "mem/packet.hh"
+#include "offchip/offchip_predictor.hh"
+#include "tlb/page_table.hh"
+#include "tlb/tlb.hh"
+#include "trace/trace.hh"
+
+namespace tlpsim
+{
+
+class DramController;
+
+class Core : public MemoryClient
+{
+  public:
+    struct Params
+    {
+        unsigned id = 0;
+        unsigned fetch_width = 4;
+        unsigned retire_width = 4;
+        unsigned rob_size = 224;
+        unsigned lq_size = 72;
+        unsigned sq_size = 56;
+        unsigned load_ports = 2;
+        unsigned mispredict_penalty = 6;   ///< refill bubbles post-resolve
+        unsigned spec_latency = 6;         ///< FLP/Hermes trigger latency
+        std::string name = "cpu0";
+    };
+
+    /** External units the core talks to. */
+    struct Ports
+    {
+        TraceReader *trace = nullptr;
+        MemoryBackend *l1i = nullptr;
+        MemoryBackend *l1d = nullptr;
+        /** Page-walk reads go here (the L2, as ChampSim's PTW does). */
+        MemoryBackend *walk_target = nullptr;
+        TranslationStack *tlbs = nullptr;
+        PageTable *page_table = nullptr;
+        DramController *dram = nullptr;
+        OffChipPredictor *offchip = nullptr;
+        /** Observer for Fig. 4: speculative request issued (core side). */
+        std::function<void(const Packet &)> on_spec_issued;
+    };
+
+    Core(const Params &p, const Ports &ports, StatGroup *stats);
+
+    void tick(Cycle now);
+
+    void memReturn(const Packet &pkt) override;
+
+    InstrCount retired() const { return retired_; }
+
+    /** L1I presence check is routed through this probe+touch interface. */
+    struct IfetchState
+    {
+        Addr last_line = ~Addr{0};
+        bool waiting = false;
+    };
+
+  private:
+    enum class State : std::uint8_t
+    {
+        WaitOps,     ///< operands unresolved
+        WaitIssue,   ///< load: operands ready, not yet sent
+        WaitWalk,    ///< load: page walk outstanding
+        WaitMem,     ///< load: demand access outstanding
+        Done,
+    };
+
+    struct RobEntry
+    {
+        Addr ip = 0;
+        Addr ld_vaddr = 0;
+        Addr st_vaddr = 0;
+        RegId dst = kNoReg;
+        std::uint8_t unresolved = 0;
+        bool is_load = false;
+        bool is_store = false;
+        bool mispredicted_branch = false;
+        State state = State::Done;
+        Cycle ready = 0;    ///< operand-ready cycle
+        Cycle done = 0;     ///< completion cycle (valid in Done)
+        std::uint64_t serial = 0;
+        std::uint64_t load_id = 0;
+        std::vector<std::uint32_t> dependents;   ///< rob slots waiting on dst
+    };
+
+    struct RegState
+    {
+        Cycle ready = 0;
+        std::int32_t producer_slot = -1;
+        std::uint64_t producer_serial = 0;
+    };
+
+    struct LoadTraining
+    {
+        std::uint32_t rob_slot = 0;
+        std::uint64_t serial = 0;
+        PredictionMeta meta;
+        bool data_done = false;
+    };
+
+    /** One outstanding page walk; deduped per virtual page, like a PTW
+     *  MSHR: loads to the same page wait on the same walk. */
+    struct WalkInflight
+    {
+        Addr vaddr = 0;
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> waiters;
+    };
+
+    static constexpr std::uint64_t kIfetchReqId = ~std::uint64_t{0};
+
+    void fetchAndDispatch(Cycle now);
+    void dispatch(const TraceInstr &instr, Cycle now);
+    void scheduleExec(std::uint32_t slot, Cycle now);
+    void complete(std::uint32_t slot, Cycle done_cycle);
+    void resolveOperand(std::uint32_t slot, Cycle ready_cycle, Cycle now);
+    void issueLoads(Cycle now);
+    bool issueOneLoad(std::uint32_t slot, Cycle now);
+    void retire(Cycle now);
+    void flushSpecDelay(Cycle now);
+    bool fetchBlocked(Cycle now) const;
+
+    std::uint32_t robIndex(std::uint64_t i) const
+    {
+        return static_cast<std::uint32_t>(i % rob_.size());
+    }
+
+    Params params_;
+    Ports ports_;
+    BranchPredictor bpred_;
+
+    std::vector<RobEntry> rob_;
+    std::uint64_t rob_head_ = 0;   ///< absolute index of oldest entry
+    std::uint64_t rob_tail_ = 0;   ///< absolute index one past youngest
+    std::uint64_t next_serial_ = 1;
+    std::uint64_t next_load_id_ = 1;
+
+    std::vector<RegState> regs_;
+    std::vector<std::uint32_t> issue_list_;   ///< rob slots in WaitIssue
+    std::unordered_map<std::uint64_t, LoadTraining> inflight_loads_;
+    std::unordered_map<std::uint64_t, WalkInflight> walk_inflight_;
+    std::unordered_map<Addr, int> pending_store_words_;
+    std::deque<std::pair<Cycle, Packet>> spec_delay_;
+
+    unsigned loads_in_flight_ = 0;
+    unsigned stores_in_flight_ = 0;
+    unsigned fetch_block_tokens_ = 0;
+    Cycle fetch_stall_until_ = 0;
+    IfetchState ifetch_;
+    InstrCount retired_ = 0;
+    Cycle now_ = 0;
+
+    Counter *instrs_;
+    Counter *loads_;
+    Counter *stores_;
+    Counter *branches_;
+    Counter *ifetch_stalls_;
+    Counter *rob_full_;
+    Counter *fwd_loads_;
+    Counter *walks_;
+    Counter *spec_from_core_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_CORE_CORE_HH

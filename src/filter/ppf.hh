@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PPF — Perceptron-based Prefetch Filter (Bhatia et al., ISCA 2019), the
+ * state-of-the-art prefetch filter the paper compares against.
+ *
+ * PPF sits at the L2 on top of SPP. Every SPP candidate is scored by a
+ * perceptron over SPP-visible features (PC, address bits, deltas,
+ * signature, path confidence, depth); two thresholds decide between
+ * prefetch-into-L2, demote-to-LLC, and reject. Issued and rejected
+ * candidates are remembered in small direct-mapped recording tables so
+ * later demand traffic can supply the training labels:
+ *   - demand hit on a prefetched block  → the accept was right;
+ *   - prefetched block evicted unused   → the accept was wrong;
+ *   - demand miss matching a rejection  → the reject was wrong.
+ *
+ * Per the paper (§II-B), PPF costs ~40 KB — an order of magnitude more
+ * than the whole of TLP — which bench/table2_storage reproduces.
+ */
+
+#ifndef TLPSIM_FILTER_PPF_HH
+#define TLPSIM_FILTER_PPF_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "offchip/perceptron.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class Ppf : public PrefetchFilter
+{
+  public:
+    struct Params
+    {
+        std::string name = "ppf";
+        int tau_accept = 0;      ///< sum ≥ this: prefetch into L2
+        int tau_reject = -16;    ///< sum < this: drop entirely
+        int training_threshold = 32;
+        unsigned prefetch_table_entries = 1024;
+        unsigned reject_table_entries = 1024;
+    };
+
+    Ppf(const Params &p, StatGroup *stats);
+
+    const char *name() const override { return "ppf"; }
+
+    bool allow(const PrefetchTrigger &trigger, Addr pf_vaddr, Addr pf_paddr,
+               std::uint32_t pf_metadata, std::uint8_t &fill_level,
+               PredictionMeta &meta) override;
+
+    void onDemandHitPrefetched(Addr paddr, Addr ip) override;
+    void onPrefetchedEvictUnused(Addr paddr) override;
+    void onDemandMiss(Addr paddr, Addr ip) override;
+
+    StorageBudget storage() const override;
+
+  private:
+    /** Feature-index snapshot parked in a recording table. */
+    struct Record
+    {
+        Addr block = 0;
+        bool valid = false;
+        std::array<std::uint16_t, kMaxFeatures> index{};
+        std::int16_t sum = 0;
+    };
+
+    void computeIndices(const PrefetchTrigger &trigger, Addr pf_paddr,
+                        std::uint32_t pf_metadata, std::uint16_t *out) const;
+    Record *findRecord(std::vector<Record> &table, Addr paddr);
+    void insertRecord(std::vector<Record> &table, Addr paddr,
+                      const std::uint16_t *index, int sum);
+
+    Params params_;
+    HashedPerceptron perceptron_;
+    std::vector<Record> prefetch_table_;
+    std::vector<Record> reject_table_;
+
+    Counter *accepted_l2_;
+    Counter *demoted_llc_;
+    Counter *rejected_;
+    Counter *train_useful_;
+    Counter *train_useless_;
+    Counter *train_missed_reject_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_FILTER_PPF_HH

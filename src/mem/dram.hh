@@ -1,0 +1,129 @@
+/**
+ * @file
+ * DDR4-like memory controller (Table III).
+ *
+ * Models what matters to the paper's experiments: bank-level row-buffer
+ * locality (tRP = tRCD = tCAS = 24 cycles), a shared data bus whose burst
+ * occupancy enforces the configured bandwidth (12.8 GB/s single-core,
+ * 3.2 GB/s per core multi-core, swept 1.6–25.6 in Fig. 16), FR-FCFS
+ * scheduling with write-drain bursts, and the speculative-request path
+ * Hermes/FLP use: speculative reads fetch a line into a small per-core
+ * buffer near the controller; a later demand read to the same line merges
+ * with the in-flight access or consumes the buffered line instead of
+ * paying a second DRAM transaction.
+ */
+
+#ifndef TLPSIM_MEM_DRAM_HH
+#define TLPSIM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+
+namespace tlpsim
+{
+
+class DramController : public MemoryBackend
+{
+  public:
+    struct Params
+    {
+        std::string name = "dram";
+        unsigned banks = 8;
+        unsigned blocks_per_row = 128;   ///< 8 KiB row buffer
+        unsigned t_rp = 24;
+        unsigned t_rcd = 24;
+        unsigned t_cas = 24;
+        /** Core cycles the data bus is busy per 64 B transfer. */
+        unsigned burst_cycles = 19;      ///< 12.8 GB/s at 3.8 GHz
+        unsigned rq_size = 64;
+        unsigned wq_size = 64;
+        /** Speculative-line buffer entries per core (Hermes path). */
+        unsigned spec_buffer_entries = 64;
+        unsigned num_cores = 1;
+    };
+
+    DramController(const Params &p, StatGroup *stats);
+
+    bool sendRead(const Packet &pkt) override;
+    bool sendWrite(const Packet &pkt) override;
+    bool probe(Addr) const override { return false; }
+    void tick(Cycle now) override;
+
+    /** True iff a completed speculative line for @p paddr is buffered. */
+    bool specBufferHolds(std::uint8_t core, Addr paddr) const;
+
+    std::uint64_t transactions() const { return txn_->value(); }
+
+    const Params &params() const { return params_; }
+
+  private:
+    struct QueueEntry
+    {
+        Packet pkt;
+        Cycle arrival;
+        std::vector<Packet> waiters;   ///< merged demand reads
+    };
+
+    struct Bank
+    {
+        Cycle ready_at = 0;
+        Addr open_row = ~Addr{0};
+    };
+
+    struct InFlight
+    {
+        QueueEntry entry;
+        Cycle done;
+    };
+
+    /** Per-core speculative line buffer entry. */
+    struct SpecLine
+    {
+        Addr block = 0;
+        bool ready = false;
+        bool valid = false;
+        Cycle fetched_at = 0;
+    };
+
+    unsigned bankOf(Addr paddr) const;
+    Addr rowOf(Addr paddr) const;
+
+    /** Pick the next read/write with FR-FCFS and start it. */
+    void scheduleOne(Cycle now, std::deque<QueueEntry> &queue, bool is_write);
+
+    void completeReads(Cycle now);
+
+    SpecLine *findSpecLine(std::uint8_t core, Addr block);
+    SpecLine *allocSpecLine(std::uint8_t core, Addr block, Cycle now);
+
+    Params params_;
+    std::deque<QueueEntry> read_q_;
+    std::deque<QueueEntry> write_q_;
+    std::vector<InFlight> in_flight_;
+    std::vector<Bank> banks_;
+    std::vector<std::vector<SpecLine>> spec_buffer_;   ///< [core][entry]
+    Cycle bus_free_at_ = 0;
+    bool draining_writes_ = false;
+
+    Counter *txn_;
+    Counter *reads_;
+    Counter *writes_;
+    Counter *row_hits_;
+    Counter *row_misses_;
+    Counter *spec_issued_;
+    Counter *spec_consumed_;
+    Counter *spec_merged_inflight_;
+    Counter *spec_wasted_;
+    Counter *spec_dropped_full_;
+    Counter *rq_merges_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_MEM_DRAM_HH

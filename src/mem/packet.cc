@@ -1,0 +1,9 @@
+#include "mem/packet.hh"
+
+// Packet is a plain value type; this translation unit only anchors the
+// vtables of MemoryClient / MemoryBackend.
+
+namespace tlpsim
+{
+
+} // namespace tlpsim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Memory request packets and the unit interfaces they flow between.
+ *
+ * Packets are value types: every queue and MSHR stores its own copy, so
+ * there is no shared-ownership lifetime to manage. Requests flow *down*
+ * (core → L1D → L2 → LLC → DRAM) through MemoryBackend::send*() and
+ * responses flow *up* by invoking the requestor's memReturn() with a copy
+ * carrying the final serve level.
+ */
+
+#ifndef TLPSIM_MEM_PACKET_HH
+#define TLPSIM_MEM_PACKET_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace tlpsim
+{
+
+/** Max feature tables any perceptron predictor in the system uses
+ *  (PPF is the largest at 9). */
+constexpr unsigned kMaxFeatures = 10;
+
+/**
+ * Snapshot of a perceptron prediction, stored with the request so the
+ * predictor can train on the true outcome when the request completes.
+ * This is the paper's "Load Queue metadata" / "L1D MSHR metadata"
+ * (Table II): hashed feature indices, confidence, and the prediction bit.
+ */
+struct PredictionMeta
+{
+    std::array<std::uint16_t, kMaxFeatures> index{};
+    std::uint8_t num_features = 0;
+    std::int16_t confidence = 0;
+    bool predicted_offchip = false;
+    bool valid = false;
+};
+
+/** One memory request (or its response). */
+struct Packet
+{
+    Addr vaddr = 0;    ///< block-aligned virtual address
+    Addr paddr = 0;    ///< block-aligned physical address
+    Addr ip = 0;       ///< PC of the triggering instruction
+    AccessType type = AccessType::Load;
+    std::uint8_t core = 0;
+    /** Lowest hierarchy level that allocates the fill (1=L1, 2=L2, 3=LLC). */
+    std::uint8_t fill_level = 1;
+    /** Hermes/FLP speculative DRAM request (does not fill caches). */
+    bool spec_dram = false;
+    /** FLP low-confidence tag: issue the speculative request on L1D miss. */
+    bool delayed_offchip_flag = false;
+    /** FLP/Hermes output bit, consumed by SLP as a feature. */
+    bool offchip_pred = false;
+    /** Level that ultimately provided the data. */
+    MemLevel served_by = MemLevel::None;
+    Cycle birth = 0;
+    /** Who to notify on completion (nullptr = fire and forget). */
+    class MemoryClient *requestor = nullptr;
+    /** Requestor-private tag (e.g. load-queue index). */
+    std::uint64_t req_id = 0;
+    /** Prefetcher-private metadata (e.g. SPP signature/confidence). */
+    std::uint32_t pf_metadata = 0;
+    /** SLP training metadata for L1D prefetches (paper's MSHR metadata). */
+    PredictionMeta pred_meta;
+
+    bool isDemand() const
+    {
+        return type == AccessType::Load || type == AccessType::Rfo;
+    }
+};
+
+/** Receives completions for requests it issued. */
+class MemoryClient
+{
+  public:
+    virtual ~MemoryClient() = default;
+
+    /** Called exactly once per completed read-like request copy. */
+    virtual void memReturn(const Packet &pkt) = 0;
+};
+
+/** Anything a cache (or core) can send requests to. */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Enqueue a demand/translation read. False = queue full, retry. */
+    virtual bool sendRead(const Packet &pkt) = 0;
+
+    /** Enqueue a writeback/store. False = queue full, retry. */
+    virtual bool sendWrite(const Packet &pkt) = 0;
+
+    /** Enqueue a prefetch (lower priority). False = queue full. */
+    virtual bool sendPrefetch(const Packet &pkt) { return sendRead(pkt); }
+
+    /** Tag-array presence check with no state change (oracle probes). */
+    virtual bool probe(Addr paddr) const = 0;
+
+    /** Advance one core clock. */
+    virtual void tick(Cycle now) = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_MEM_PACKET_HH

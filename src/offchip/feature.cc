@@ -1,0 +1,85 @@
+#include "offchip/feature.hh"
+
+namespace tlpsim
+{
+
+std::uint64_t
+featureValue(FeatureKind kind, const FeatureContext &ctx)
+{
+    switch (kind) {
+      case FeatureKind::PcXorLineOffset:
+        return ctx.pc ^ lineOffsetInPage(ctx.addr);
+      case FeatureKind::PcXorByteOffset:
+        return ctx.pc ^ byteOffsetInBlock(ctx.addr);
+      case FeatureKind::PcFirstAccess:
+        return (ctx.pc << 1) | static_cast<std::uint64_t>(ctx.first_access);
+      case FeatureKind::LineOffsetFirstAccess:
+        return (static_cast<std::uint64_t>(lineOffsetInPage(ctx.addr)) << 1)
+            | static_cast<std::uint64_t>(ctx.first_access);
+      case FeatureKind::Last4LoadPcs:
+        return ctx.last_pcs_hash;
+      case FeatureKind::FlpPredLineOffset:
+        return (static_cast<std::uint64_t>(ctx.flp_pred)
+                << (kPageBits - kBlockBits))
+            | lineOffsetInPage(ctx.addr);
+    }
+    return 0;
+}
+
+const char *
+toString(FeatureKind kind)
+{
+    switch (kind) {
+      case FeatureKind::PcXorLineOffset: return "pc_xor_line_offset";
+      case FeatureKind::PcXorByteOffset: return "pc_xor_byte_offset";
+      case FeatureKind::PcFirstAccess: return "pc_first_access";
+      case FeatureKind::LineOffsetFirstAccess:
+        return "line_offset_first_access";
+      case FeatureKind::Last4LoadPcs: return "last4_load_pcs";
+      case FeatureKind::FlpPredLineOffset: return "flp_pred_line_offset";
+    }
+    return "?";
+}
+
+std::vector<FeatureKind>
+legacyHermesFeatures()
+{
+    return {
+        FeatureKind::PcXorLineOffset,
+        FeatureKind::PcXorByteOffset,
+        FeatureKind::PcFirstAccess,
+        FeatureKind::LineOffsetFirstAccess,
+        FeatureKind::Last4LoadPcs,
+    };
+}
+
+std::vector<FeatureKind>
+slpFeatures(bool use_flp_feature)
+{
+    auto f = legacyHermesFeatures();
+    if (use_flp_feature)
+        f.push_back(FeatureKind::FlpPredLineOffset);
+    return f;
+}
+
+std::vector<HashedPerceptron::TableSpec>
+featureTables(const std::vector<FeatureKind> &features, unsigned scale_shift)
+{
+    std::vector<HashedPerceptron::TableSpec> specs;
+    for (FeatureKind f : features) {
+        unsigned entries;
+        switch (f) {
+          case FeatureKind::LineOffsetFirstAccess:
+          case FeatureKind::FlpPredLineOffset:
+            entries = 128;
+            break;
+          default:
+            entries = 1024;
+            break;
+        }
+        specs.push_back({toString(f), entries << scale_shift});
+    }
+    return specs;
+}
+
+} // namespace tlpsim

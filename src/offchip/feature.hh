@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Program features for off-chip prediction (the paper's Table I).
+ *
+ * FLP computes the five legacy Hermes features over *virtual* addresses;
+ * SLP computes the same five over *physical* addresses plus the novel
+ * "FLP prediction + cacheline offset" leveling feature.
+ */
+
+#ifndef TLPSIM_OFFCHIP_FEATURE_HH
+#define TLPSIM_OFFCHIP_FEATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "offchip/perceptron.hh"
+
+namespace tlpsim
+{
+
+enum class FeatureKind
+{
+    PcXorLineOffset,        ///< PC ⊕ cacheline offset (within page)
+    PcXorByteOffset,        ///< PC ⊕ byte offset (within line)
+    PcFirstAccess,          ///< PC + first-access bit
+    LineOffsetFirstAccess,  ///< cacheline offset + first-access bit
+    Last4LoadPcs,           ///< folded hash of the last 4 load PCs
+    FlpPredLineOffset,      ///< FLP output bit + cacheline offset (SLP only)
+};
+
+/** Everything a feature may draw on. */
+struct FeatureContext
+{
+    Addr pc = 0;
+    Addr addr = 0;          ///< virtual (FLP) or physical (SLP)
+    bool first_access = false;
+    std::uint64_t last_pcs_hash = 0;
+    bool flp_pred = false;
+};
+
+/** Raw (un-hashed) feature value. */
+std::uint64_t featureValue(FeatureKind kind, const FeatureContext &ctx);
+
+const char *toString(FeatureKind kind);
+
+/** The five legacy Hermes features (Table I, top). */
+std::vector<FeatureKind> legacyHermesFeatures();
+
+/** Legacy features + the SLP leveling feature (Table I, bottom). */
+std::vector<FeatureKind> slpFeatures(bool use_flp_feature);
+
+/**
+ * Build the perceptron table specs for a feature list. Sizes follow the
+ * paper's budget: 1024-entry tables for PC-based features, 128 entries
+ * for the purely offset-based ones; @p scale_shift multiplies every table
+ * by 2^shift (used for the Fig. 17 "+7KB" designs).
+ */
+std::vector<HashedPerceptron::TableSpec>
+featureTables(const std::vector<FeatureKind> &features,
+              unsigned scale_shift = 0);
+
+/** Rolling hash of the last four load PCs (per core). */
+class LoadPcHistory
+{
+  public:
+    void
+    push(Addr pc)
+    {
+        history_[pos_] = pc;
+        pos_ = (pos_ + 1) & 3;
+    }
+
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            h ^= history_[(pos_ + i) & 3] >> (3 - i);
+        return h;
+    }
+
+  private:
+    Addr history_[4] = {};
+    unsigned pos_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_OFFCHIP_FEATURE_HH

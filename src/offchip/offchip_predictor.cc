@@ -1,0 +1,106 @@
+#include "offchip/offchip_predictor.hh"
+
+namespace tlpsim
+{
+
+const char *
+toString(OffchipPolicy p)
+{
+    switch (p) {
+      case OffchipPolicy::None: return "none";
+      case OffchipPolicy::Immediate: return "immediate";
+      case OffchipPolicy::AlwaysDelay: return "always_delay";
+      case OffchipPolicy::Selective: return "selective";
+    }
+    return "?";
+}
+
+OffChipPredictor::OffChipPredictor(const Params &p, StatGroup *stats)
+    : params_(p), features_(legacyHermesFeatures()),
+      perceptron_(p.name, featureTables(features_, p.table_scale_shift),
+                  p.training_threshold),
+      page_buffer_({64, 4, p.name + ".page_buffer"}),
+      pred_offchip_(stats->counter(p.name + ".pred_offchip")),
+      pred_onchip_(stats->counter(p.name + ".pred_onchip")),
+      spec_now_(stats->counter(p.name + ".spec_now")),
+      delayed_(stats->counter(p.name + ".delayed")),
+      train_correct_(stats->counter(p.name + ".train_correct")),
+      train_wrong_(stats->counter(p.name + ".train_wrong"))
+{
+}
+
+OffChipPredictor::Decision
+OffChipPredictor::predictLoad(Addr ip, Addr vaddr)
+{
+    Decision d;
+    if (params_.policy == OffchipPolicy::None)
+        return d;
+
+    FeatureContext ctx;
+    ctx.pc = ip;
+    ctx.addr = vaddr;
+    ctx.first_access = page_buffer_.firstAccess(vaddr);
+    ctx.last_pcs_hash = pc_history_.hash();
+    pc_history_.push(ip);
+
+    d.meta.num_features = static_cast<std::uint8_t>(features_.size());
+    for (std::size_t t = 0; t < features_.size(); ++t) {
+        d.meta.index[t] = perceptron_.indexFor(
+            static_cast<unsigned>(t), featureValue(features_[t], ctx));
+    }
+    int sum = perceptron_.predict(d.meta.index.data(),
+                                  d.meta.num_features);
+    d.meta.confidence = static_cast<std::int16_t>(sum);
+    d.meta.valid = true;
+
+    switch (params_.policy) {
+      case OffchipPolicy::Immediate:
+        d.spec_now = sum >= params_.tau_high;
+        d.predicted_offchip = d.spec_now;
+        break;
+      case OffchipPolicy::AlwaysDelay:
+        d.delayed_flag = sum >= params_.tau_low;
+        d.predicted_offchip = d.delayed_flag;
+        break;
+      case OffchipPolicy::Selective:
+        if (sum >= params_.tau_high) {
+            d.spec_now = true;
+        } else if (sum >= params_.tau_low) {
+            d.delayed_flag = true;
+        }
+        d.predicted_offchip = d.spec_now || d.delayed_flag;
+        break;
+      case OffchipPolicy::None:
+        break;
+    }
+    d.meta.predicted_offchip = d.predicted_offchip;
+
+    (d.predicted_offchip ? pred_offchip_ : pred_onchip_)->add();
+    if (d.spec_now)
+        spec_now_->add();
+    if (d.delayed_flag)
+        delayed_->add();
+    return d;
+}
+
+void
+OffChipPredictor::train(const PredictionMeta &meta, bool went_offchip)
+{
+    if (!meta.valid)
+        return;
+    (meta.predicted_offchip == went_offchip ? train_correct_ : train_wrong_)
+        ->add();
+    perceptron_.train(meta.index.data(), meta.num_features, meta.confidence,
+                      went_offchip, predictThreshold());
+}
+
+StorageBudget
+OffChipPredictor::storage() const
+{
+    StorageBudget b;
+    b.merge(perceptron_.storage(), "");
+    b.merge(page_buffer_.storage(), "");
+    return b;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,59 @@
+#include "offchip/page_buffer.hh"
+
+#include <cassert>
+
+#include "common/bitops.hh"
+
+namespace tlpsim
+{
+
+PageBuffer::PageBuffer() : PageBuffer(Params{}) {}
+
+PageBuffer::PageBuffer(const Params &p)
+    : params_(p), sets_(p.entries / p.ways),
+      entries_(static_cast<std::size_t>(p.entries))
+{
+    assert(isPowerOfTwo(sets_));
+}
+
+bool
+PageBuffer::firstAccess(Addr addr)
+{
+    Addr page = pageNumber(addr);
+    std::uint64_t line_bit = std::uint64_t{1} << lineOffsetInPage(addr);
+    std::size_t set = page & (sets_ - 1);
+    Entry *base = &entries_[set * params_.ways];
+
+    Entry *victim = base;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.page == page) {
+            e.lru = ++lru_clock_;
+            bool first = (e.line_mask & line_bit) == 0;
+            e.line_mask |= line_bit;
+            return first;
+        }
+        if (!e.valid || e.lru < victim->lru
+            || (victim->valid && !e.valid)) {
+            if (!e.valid || (victim->valid && e.lru < victim->lru))
+                victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->page = page;
+    victim->line_mask = line_bit;
+    victim->lru = ++lru_clock_;
+    return true;
+}
+
+StorageBudget
+PageBuffer::storage() const
+{
+    // Per entry: page tag (~36 bits after set indexing is generous) +
+    // 64-bit line mask + LRU bits.
+    StorageBudget b;
+    b.add(params_.name, std::uint64_t{params_.entries} * (36 + 64 + 2));
+    return b;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Page buffer: tracks recently-touched pages and which cache lines within
+ * them have been accessed, producing the "first access" bit used by the
+ * Hermes/FLP/SLP features (Table I). This is the 0.63 KB "page buffer"
+ * component of the paper's Table II budget.
+ */
+
+#ifndef TLPSIM_OFFCHIP_PAGE_BUFFER_HH
+#define TLPSIM_OFFCHIP_PAGE_BUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/storage.hh"
+#include "common/types.hh"
+
+namespace tlpsim
+{
+
+class PageBuffer
+{
+  public:
+    struct Params
+    {
+        unsigned entries = 64;
+        unsigned ways = 4;
+        std::string name = "page_buffer";
+    };
+
+    PageBuffer();
+    explicit PageBuffer(const Params &p);
+
+    /**
+     * True iff @p addr's cache line had not been touched in its tracked
+     * page; records the touch (and allocates the page entry LRU on miss).
+     */
+    bool firstAccess(Addr addr);
+
+    StorageBudget storage() const;
+
+  private:
+    struct Entry
+    {
+        Addr page = 0;
+        std::uint64_t line_mask = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    Params params_;
+    unsigned sets_;
+    std::vector<Entry> entries_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_OFFCHIP_PAGE_BUFFER_HH

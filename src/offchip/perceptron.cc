@@ -1,0 +1,75 @@
+#include "offchip/perceptron.hh"
+
+#include <cassert>
+
+namespace tlpsim
+{
+
+HashedPerceptron::HashedPerceptron(std::string name,
+                                   std::vector<TableSpec> tables,
+                                   int training_threshold)
+    : name_(std::move(name)), training_threshold_(training_threshold)
+{
+    for (auto &spec : tables) {
+        assert(isPowerOfTwo(spec.entries));
+        table_names_.push_back(spec.name);
+        tables_.emplace_back(spec.entries);
+        index_bits_.push_back(log2i(spec.entries));
+    }
+}
+
+int
+HashedPerceptron::predict(const std::uint16_t *index, unsigned n) const
+{
+    assert(n == tables_.size());
+    int sum = 0;
+    for (unsigned t = 0; t < n; ++t)
+        sum += tables_[t][index[t]].value();
+    return sum;
+}
+
+void
+HashedPerceptron::train(const std::uint16_t *index, unsigned n, int sum,
+                        bool outcome_positive, int decision_threshold)
+{
+    assert(n == tables_.size());
+    bool predicted_positive = sum >= decision_threshold;
+    bool mispredicted = predicted_positive != outcome_positive;
+    if (!mispredicted && std::abs(sum - decision_threshold)
+        >= training_threshold_) {
+        return;   // confident and correct: leave the weights alone
+    }
+    for (unsigned t = 0; t < n; ++t)
+        tables_[t][index[t]].train(outcome_positive);
+}
+
+void
+HashedPerceptron::nudge(const std::uint16_t *index, unsigned n, bool positive)
+{
+    assert(n == tables_.size());
+    for (unsigned t = 0; t < n; ++t)
+        tables_[t][index[t]].train(positive);
+}
+
+void
+HashedPerceptron::reset()
+{
+    for (auto &table : tables_) {
+        for (auto &w : table)
+            w.reset();
+    }
+}
+
+StorageBudget
+HashedPerceptron::storage() const
+{
+    StorageBudget b;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        b.add(name_ + "." + table_names_[t],
+              static_cast<std::uint64_t>(tables_[t].size())
+                  * PerceptronWeight{}.storageBits());
+    }
+    return b;
+}
+
+} // namespace tlpsim

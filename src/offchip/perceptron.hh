@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hashed-perceptron infrastructure shared by every neural predictor in
+ * tlpsim: the branch predictor, Hermes, FLP, SLP, and PPF.
+ *
+ * A HashedPerceptron owns one weight table per feature. A prediction
+ * hashes each feature value into its table, reads the weights, and sums
+ * them; training saturating-updates the same entries when the outcome
+ * disagrees with the prediction or the magnitude of the sum is below the
+ * training threshold (the classic perceptron update rule of Jiménez &
+ * Lin adapted by Hermes/PPF).
+ */
+
+#ifndef TLPSIM_OFFCHIP_PERCEPTRON_HH
+#define TLPSIM_OFFCHIP_PERCEPTRON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/sat_counter.hh"
+#include "common/storage.hh"
+
+namespace tlpsim
+{
+
+/** Fixed-point weight with 5-bit storage, matching the paper's budget. */
+using PerceptronWeight = SatCounter<5>;
+
+/** A prediction outcome with everything needed to train later. */
+struct PerceptronOutput
+{
+    int sum = 0;
+    std::vector<std::uint16_t> index;   ///< per-table entry used
+};
+
+class HashedPerceptron
+{
+  public:
+    struct TableSpec
+    {
+        std::string name;
+        unsigned entries;   ///< power of two
+    };
+
+    HashedPerceptron(std::string name, std::vector<TableSpec> tables,
+                     int training_threshold);
+
+    unsigned numTables() const { return static_cast<unsigned>(tables_.size()); }
+
+    /** Hash a raw feature value into table @p t's index space. */
+    std::uint16_t
+    indexFor(unsigned t, std::uint64_t value) const
+    {
+        return static_cast<std::uint16_t>(
+            foldedXor(value, index_bits_[t]) & (tables_[t].size() - 1));
+    }
+
+    /** Sum weights for pre-hashed indices (one per table). */
+    int predict(const std::uint16_t *index, unsigned n) const;
+
+    /**
+     * Perceptron update: if the prediction implied by @p sum (against
+     * @p decision_threshold) was wrong, or |sum| is below the training
+     * threshold, nudge every indexed weight toward the outcome.
+     */
+    void train(const std::uint16_t *index, unsigned n, int sum,
+               bool outcome_positive, int decision_threshold);
+
+    /** Unconditional nudge (used by PPF's recovery path). */
+    void nudge(const std::uint16_t *index, unsigned n, bool positive);
+
+    int weightAt(unsigned t, std::uint16_t idx) const
+    {
+        return tables_[t][idx].value();
+    }
+
+    void reset();
+
+    StorageBudget storage() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::string> table_names_;
+    std::vector<std::vector<PerceptronWeight>> tables_;
+    std::vector<unsigned> index_bits_;
+    int training_threshold_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_OFFCHIP_PERCEPTRON_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Second Level Perceptron (SLP): off-chip prediction as an L1D prefetch
+ * filter — the paper's second contribution (§IV-B).
+ *
+ * SLP sits beside the L1D and is consulted for every prefetch candidate
+ * the L1D prefetcher emits. It reuses the five legacy Hermes features,
+ * computed over *physical* addresses (SLP lives after translation), plus
+ * the novel leveling feature combining the FLP output bit of the demand
+ * access that triggered the prefetch with the prefetched block's line
+ * offset in its physical page. A candidate whose perceptron sum clears
+ * τ_pref is predicted to be served from DRAM — and, per the paper's
+ * Finding 4, overwhelmingly useless — so it is discarded.
+ *
+ * Training happens when an issued prefetch completes, against the true
+ * "served from DRAM" outcome carried by the fill (metadata parked in the
+ * L1D MSHR, Table II).
+ */
+
+#ifndef TLPSIM_OFFCHIP_SLP_HH
+#define TLPSIM_OFFCHIP_SLP_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "offchip/feature.hh"
+#include "offchip/page_buffer.hh"
+#include "offchip/perceptron.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class Slp : public PrefetchFilter
+{
+  public:
+    struct Params
+    {
+        std::string name = "slp";
+        /** Drop threshold: sum ≥ τ_pref predicts off-chip → discard. */
+        int tau_pref = 8;
+        int training_threshold = 30;
+        /** Fig. 15 TSP variants disable the FLP-output feature. */
+        bool use_flp_feature = true;
+        unsigned table_scale_shift = 0;
+        /**
+         * Issue every Nth predicted-off-chip prefetch anyway (0 = never).
+         * The paper trains SLP only on *completed* prefetches, so a pure
+         * drop policy can never unlearn a stale positive prediction once a
+         * program phase changes; this deterministic probation keeps the
+         * training signal alive at a bounded bandwidth cost.
+         */
+        unsigned probation_period = 32;
+    };
+
+    Slp(const Params &p, StatGroup *stats);
+
+    const char *name() const override { return "slp"; }
+
+    bool allow(const PrefetchTrigger &trigger, Addr pf_vaddr, Addr pf_paddr,
+               std::uint32_t pf_metadata, std::uint8_t &fill_level,
+               PredictionMeta &meta) override;
+
+    void onPrefetchFill(const Packet &pkt) override;
+
+    StorageBudget storage() const override;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+    std::vector<FeatureKind> features_;
+    HashedPerceptron perceptron_;
+    PageBuffer page_buffer_;
+    LoadPcHistory pc_history_;
+
+    unsigned probation_counter_ = 0;
+    Counter *allowed_;
+    Counter *dropped_;
+    Counter *probation_;
+    Counter *train_correct_;
+    Counter *train_wrong_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_OFFCHIP_SLP_HH

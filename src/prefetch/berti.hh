@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Berti — accurate local-delta L1D prefetcher (Navarro-Torres et al.,
+ * MICRO 2022), the paper's second L1D prefetcher.
+ *
+ * Berti learns, per load IP, the set of *timely* local deltas: deltas to
+ * earlier accesses far enough in the past that a prefetch launched then
+ * would have beaten the demand. It issues few, highly accurate prefetches
+ * — the foil to IPCP's aggression in the paper's evaluation.
+ *
+ * This implementation keeps per-IP access history with timestamps; when a
+ * demand miss completes, the observed latency defines the timeliness
+ * window used to score candidate deltas.
+ */
+
+#ifndef TLPSIM_PREFETCH_BERTI_HH
+#define TLPSIM_PREFETCH_BERTI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class BertiPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned table_entries = 64;   ///< per-IP tracking entries
+        unsigned history_per_ip = 8;
+        unsigned deltas_per_ip = 4;
+        /** Confidence (out of 8) a delta needs before being issued. */
+        unsigned issue_confidence = 4;
+        /** Initial timeliness window; adapts to observed miss latency. */
+        Cycle initial_window = 60;
+        unsigned table_scale_shift = 0;
+    };
+
+    BertiPrefetcher();
+    explicit BertiPrefetcher(const Params &p);
+
+    const char *name() const override { return "berti"; }
+
+    void onAccess(const PrefetchTrigger &trigger,
+                  std::vector<PrefetchCandidate> &out) override;
+
+    void onFill(Addr vaddr, Addr ip, MemLevel served_by,
+                Cycle miss_latency) override;
+
+    StorageBudget storage() const override;
+
+    Cycle timelinessWindow() const { return window_; }
+
+  private:
+    struct HistoryRec
+    {
+        Addr line = 0;
+        Cycle when = 0;
+    };
+
+    struct DeltaRec
+    {
+        int delta = 0;
+        std::uint8_t conf = 0;   ///< 0..8
+    };
+
+    struct IpEntry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        std::vector<HistoryRec> history;   ///< ring, newest at head_
+        unsigned head = 0;
+        unsigned count = 0;
+        std::vector<DeltaRec> deltas;
+    };
+
+    IpEntry *entryFor(Addr ip, bool allocate);
+    void scoreDeltas(IpEntry &e, Addr line, Cycle now);
+
+    Params params_;
+    std::vector<IpEntry> table_;
+    Cycle window_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_BERTI_HH

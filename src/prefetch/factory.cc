@@ -1,0 +1,73 @@
+#include "prefetch/factory.hh"
+
+#include "prefetch/berti.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/spp.hh"
+
+namespace tlpsim
+{
+
+const char *
+toString(L1Prefetcher p)
+{
+    switch (p) {
+      case L1Prefetcher::None: return "no";
+      case L1Prefetcher::NextLine: return "next_line";
+      case L1Prefetcher::Ipcp: return "ipcp";
+      case L1Prefetcher::Berti: return "berti";
+    }
+    return "?";
+}
+
+const char *
+toString(L2Prefetcher p)
+{
+    switch (p) {
+      case L2Prefetcher::None: return "no";
+      case L2Prefetcher::Spp: return "spp";
+      case L2Prefetcher::SppAggressive: return "spp_aggressive";
+    }
+    return "?";
+}
+
+std::unique_ptr<Prefetcher>
+makeL1Prefetcher(L1Prefetcher kind, unsigned table_scale_shift)
+{
+    switch (kind) {
+      case L1Prefetcher::None:
+        return nullptr;
+      case L1Prefetcher::NextLine:
+        return std::make_unique<NextLinePrefetcher>();
+      case L1Prefetcher::Ipcp: {
+        IpcpPrefetcher::Params p;
+        p.table_scale_shift = table_scale_shift;
+        return std::make_unique<IpcpPrefetcher>(p);
+      }
+      case L1Prefetcher::Berti: {
+        BertiPrefetcher::Params p;
+        p.table_scale_shift = table_scale_shift;
+        return std::make_unique<BertiPrefetcher>(p);
+      }
+    }
+    return nullptr;
+}
+
+std::unique_ptr<Prefetcher>
+makeL2Prefetcher(L2Prefetcher kind)
+{
+    switch (kind) {
+      case L2Prefetcher::None:
+        return nullptr;
+      case L2Prefetcher::Spp:
+        return std::make_unique<SppPrefetcher>();
+      case L2Prefetcher::SppAggressive: {
+        SppPrefetcher::Params p;
+        p.aggressive = true;
+        return std::make_unique<SppPrefetcher>(p);
+      }
+    }
+    return nullptr;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Prefetcher factory: construct L1D / L2 prefetchers by name, with the
+ * optional table-size scaling used by the Fig. 17 "+7KB" designs.
+ */
+
+#ifndef TLPSIM_PREFETCH_FACTORY_HH
+#define TLPSIM_PREFETCH_FACTORY_HH
+
+#include <memory>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+/** L1D prefetcher selection (Table III: IPCP or Berti). */
+enum class L1Prefetcher
+{
+    None,
+    NextLine,
+    Ipcp,
+    Berti,
+};
+
+/** L2 prefetcher selection (Table III: SPP). */
+enum class L2Prefetcher
+{
+    None,
+    Spp,
+    SppAggressive,   ///< the PPF-companion tuning (§V-E)
+};
+
+const char *toString(L1Prefetcher p);
+const char *toString(L2Prefetcher p);
+
+std::unique_ptr<Prefetcher> makeL1Prefetcher(L1Prefetcher kind,
+                                             unsigned table_scale_shift = 0);
+std::unique_ptr<Prefetcher> makeL2Prefetcher(L2Prefetcher kind);
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_FACTORY_HH

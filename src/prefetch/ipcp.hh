@@ -1,0 +1,91 @@
+/**
+ * @file
+ * IPCP — Instruction Pointer Classification Prefetcher (Pakalapati &
+ * Panda, ISCA 2020), the paper's primary L1D prefetcher.
+ *
+ * Each load IP is classified into one of three classes, checked in
+ * priority order, and prefetches are issued for the winning class:
+ *   - CS   (constant stride): stable per-IP stride, deep degree;
+ *   - CPLX (complex stride): stride predicted from a signature of recent
+ *     deltas via the CSPT;
+ *   - GS   (global stream): dense region streaming, deepest degree;
+ * with a next-line prefetch as the low-confidence fallback. IPCP is
+ * deliberately aggressive — the paper's Fig. 5a shows large inaccurate
+ * PPKI — and that aggression is what SLP filters.
+ */
+
+#ifndef TLPSIM_PREFETCH_IPCP_HH
+#define TLPSIM_PREFETCH_IPCP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class IpcpPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned ip_table_entries = 64;
+        unsigned cspt_entries = 128;
+        unsigned region_entries = 8;
+        /** Lines in a tracked GS region. */
+        unsigned region_lines = 32;
+        /** Dense-region threshold for GS classification. */
+        unsigned gs_dense_threshold = 24;
+        unsigned cs_degree = 4;
+        unsigned cplx_degree = 3;
+        unsigned gs_degree = 6;
+        /** Table-size shift for the Fig. 17 "+7KB IPCP" design. */
+        unsigned table_scale_shift = 0;
+    };
+
+    IpcpPrefetcher();
+    explicit IpcpPrefetcher(const Params &p);
+
+    const char *name() const override { return "ipcp"; }
+
+    void onAccess(const PrefetchTrigger &trigger,
+                  std::vector<PrefetchCandidate> &out) override;
+
+    StorageBudget storage() const override;
+
+  private:
+    struct IpEntry
+    {
+        std::uint16_t tag = 0;
+        bool valid = false;
+        Addr last_line = 0;        ///< last accessed line number
+        int stride = 0;
+        std::uint8_t conf = 0;     ///< 2-bit stride confidence
+        std::uint16_t signature = 0;
+    };
+
+    struct CsptEntry
+    {
+        int stride = 0;
+        std::uint8_t conf = 0;
+    };
+
+    struct Region
+    {
+        Addr base_line = 0;        ///< region-aligned line number
+        std::uint64_t touched = 0; ///< bitmap of touched lines
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    Params params_;
+    std::vector<IpEntry> ip_table_;
+    std::vector<CsptEntry> cspt_;
+    std::vector<Region> regions_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_IPCP_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trivial next-line prefetcher: the simplest coverage baseline, used by
+ * tests and the quickstart example.
+ */
+
+#ifndef TLPSIM_PREFETCH_NEXT_LINE_HH
+#define TLPSIM_PREFETCH_NEXT_LINE_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1) : degree_(degree) {}
+
+    const char *name() const override { return "next_line"; }
+
+    void
+    onAccess(const PrefetchTrigger &trigger,
+             std::vector<PrefetchCandidate> &out) override
+    {
+        if (trigger.type != AccessType::Load
+            && trigger.type != AccessType::Rfo) {
+            return;
+        }
+        for (unsigned d = 1; d <= degree_; ++d) {
+            out.push_back(
+                {blockAlign(trigger.vaddr) + d * kBlockSize, 1, 0});
+        }
+    }
+
+    StorageBudget storage() const override { return {}; }
+
+  private:
+    unsigned degree_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_NEXT_LINE_HH

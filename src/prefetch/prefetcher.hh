@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Hardware prefetcher and prefetch-filter interfaces.
+ *
+ * A Prefetcher is attached to one cache. On every demand access the cache
+ * hands it a PrefetchTrigger and collects candidates; candidates then pass
+ * through the cache's PrefetchFilter (SLP at L1D, PPF at L2) before
+ * entering the prefetch queue. L1D prefetchers emit virtual addresses
+ * (translated by the cache); L2 prefetchers emit physical addresses.
+ */
+
+#ifndef TLPSIM_PREFETCH_PREFETCHER_HH
+#define TLPSIM_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/storage.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+
+namespace tlpsim
+{
+
+/** Demand access information handed to prefetchers and filters. */
+struct PrefetchTrigger
+{
+    Addr vaddr = 0;
+    Addr paddr = 0;
+    Addr ip = 0;
+    AccessType type = AccessType::Load;
+    bool cache_hit = false;
+    /** The hit (if any) was on a prefetched block. */
+    bool prefetch_hit = false;
+    /** FLP/Hermes off-chip prediction bit of this demand (SLP feature). */
+    bool offchip_pred = false;
+    std::uint8_t core = 0;
+    Cycle now = 0;
+};
+
+/** One prefetch the prefetcher wants issued. */
+struct PrefetchCandidate
+{
+    /** Virtual address for L1D prefetchers, physical for L2 prefetchers. */
+    Addr addr = 0;
+    /** Lowest cache level to allocate the fill into (1=L1, 2=L2, 3=LLC). */
+    std::uint8_t fill_level = 1;
+    /** Prefetcher-private (e.g. SPP signature+confidence). */
+    std::uint32_t metadata = 0;
+};
+
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Demand access notification; append candidates to @p out. */
+    virtual void onAccess(const PrefetchTrigger &trigger,
+                          std::vector<PrefetchCandidate> &out) = 0;
+
+    /**
+     * Fill notification for a demand miss that just returned: Berti uses
+     * the observed miss latency to pick *timely* deltas.
+     */
+    virtual void
+    onFill(Addr vaddr, Addr ip, MemLevel served_by, Cycle miss_latency)
+    {
+        (void)vaddr; (void)ip; (void)served_by; (void)miss_latency;
+    }
+
+    /** Hardware cost of the prefetcher's tables. */
+    virtual StorageBudget storage() const { return {}; }
+};
+
+/**
+ * Adaptive prefetch filter (the paper's SLP; the PPF baseline).
+ *
+ * The filter sees each candidate after translation and may drop it or
+ * demote its fill level. Training hooks mirror the information real
+ * implementations use.
+ */
+class PrefetchFilter
+{
+  public:
+    virtual ~PrefetchFilter() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Decide the fate of a candidate. Return false to drop it. May lower
+     * @p fill_level (PPF's two-threshold fill/LLC decision) and fills
+     * @p meta with training metadata to be carried by the packet.
+     * @p pf_metadata is the candidate's prefetcher-private word (SPP
+     * signature/confidence/depth for PPF's features).
+     */
+    virtual bool allow(const PrefetchTrigger &trigger, Addr pf_vaddr,
+                       Addr pf_paddr, std::uint32_t pf_metadata,
+                       std::uint8_t &fill_level, PredictionMeta &meta) = 0;
+
+    /** A filtered-through prefetch completed; @p pkt carries its meta. */
+    virtual void
+    onPrefetchFill(const Packet &pkt)
+    {
+        (void)pkt;
+    }
+
+    /** A demand access hit a prefetched block (prefetch was useful). */
+    virtual void
+    onDemandHitPrefetched(Addr paddr, Addr ip)
+    {
+        (void)paddr; (void)ip;
+    }
+
+    /** A prefetched block was evicted unused (prefetch was useless). */
+    virtual void
+    onPrefetchedEvictUnused(Addr paddr)
+    {
+        (void)paddr;
+    }
+
+    /** A demand access missed (PPF checks its reject history here). */
+    virtual void
+    onDemandMiss(Addr paddr, Addr ip)
+    {
+        (void)paddr; (void)ip;
+    }
+
+    virtual StorageBudget storage() const { return {}; }
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SPP — Signature Path Prefetcher (Kim et al., MICRO 2016), the L2
+ * prefetcher of the paper's baseline (Table III).
+ *
+ * Per-page signatures compress recent delta history; a pattern table maps
+ * signatures to likely next deltas with confidence; lookahead walks the
+ * signature chain issuing prefetches while the compounded path confidence
+ * stays above threshold. High-confidence prefetches fill L2, low ones are
+ * demoted to LLC-only — the fill decision PPF later overrides.
+ *
+ * The "aggressive" configuration (deeper lookahead, lower cutoffs) is the
+ * SPP tuning the paper uses when PPF is present (§V-E).
+ */
+
+#ifndef TLPSIM_PREFETCH_SPP_HH
+#define TLPSIM_PREFETCH_SPP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlpsim
+{
+
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    struct Params
+    {
+        unsigned signature_table_entries = 256;
+        unsigned pattern_table_entries = 512;
+        unsigned deltas_per_pattern = 4;
+        unsigned max_lookahead = 8;
+        /** Stop the lookahead below this path confidence (percent). */
+        unsigned lookahead_cutoff = 25;
+        /** Fill L2 at or above this confidence, else demote to LLC. */
+        unsigned fill_threshold = 60;
+        /** PPF companion mode: prefetch more, let the filter prune. */
+        bool aggressive = false;
+    };
+
+    SppPrefetcher();
+    explicit SppPrefetcher(const Params &p);
+
+    const char *name() const override { return "spp"; }
+
+    void onAccess(const PrefetchTrigger &trigger,
+                  std::vector<PrefetchCandidate> &out) override;
+
+    StorageBudget storage() const override;
+
+    /** Confidence (0..100) encoded in candidate metadata (PPF feature). */
+    static unsigned metaConfidence(std::uint32_t metadata)
+    {
+        return metadata & 0x7f;
+    }
+    static std::uint16_t metaSignature(std::uint32_t metadata)
+    {
+        return static_cast<std::uint16_t>((metadata >> 7) & 0xfff);
+    }
+    static unsigned metaDepth(std::uint32_t metadata)
+    {
+        return (metadata >> 19) & 0xf;
+    }
+    static std::uint32_t
+    packMeta(unsigned conf, std::uint16_t sig, unsigned depth)
+    {
+        return (conf & 0x7f) | (std::uint32_t{sig} & 0xfff) << 7
+            | (std::uint32_t{depth} & 0xf) << 19;
+    }
+
+  private:
+    struct SigEntry
+    {
+        Addr page_tag = 0;
+        bool valid = false;
+        std::uint8_t last_offset = 0;
+        std::uint16_t signature = 0;
+        std::uint64_t lru = 0;
+    };
+
+    struct PatternDelta
+    {
+        int delta = 0;
+        std::uint8_t count = 0;
+    };
+
+    struct PatternEntry
+    {
+        std::vector<PatternDelta> deltas;
+        std::uint8_t total = 0;
+    };
+
+    static std::uint16_t
+    nextSignature(std::uint16_t sig, int delta)
+    {
+        return static_cast<std::uint16_t>(
+            ((sig << 3) ^ static_cast<std::uint16_t>(delta & 0x7f)) & 0xfff);
+    }
+
+    Params params_;
+    std::vector<SigEntry> sig_table_;
+    std::vector<PatternEntry> pattern_table_;
+    std::uint64_t lru_clock_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_PREFETCH_SPP_HH

@@ -1,0 +1,199 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace tlpsim::experiment
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(v, &end, 10);
+    return end == v ? fallback : parsed;
+}
+
+} // namespace
+
+InstrCount
+envInstrs(InstrCount fallback)
+{
+    return envU64("TLPSIM_INSTRS", fallback);
+}
+
+InstrCount
+envWarmup(InstrCount fallback)
+{
+    return envU64("TLPSIM_WARMUP", fallback);
+}
+
+int
+envMixes(int fallback)
+{
+    return static_cast<int>(
+        envU64("TLPSIM_MIXES", static_cast<std::uint64_t>(fallback)));
+}
+
+namespace
+{
+
+struct TraceKey
+{
+    std::string name;
+    InstrCount instrs;
+    std::uint64_t seed;
+
+    bool
+    operator<(const TraceKey &o) const
+    {
+        if (name != o.name)
+            return name < o.name;
+        if (instrs != o.instrs)
+            return instrs < o.instrs;
+        return seed < o.seed;
+    }
+};
+
+std::map<TraceKey, Trace> g_trace_cache;
+
+} // namespace
+
+const Trace &
+cachedTrace(const workloads::WorkloadSpec &spec, InstrCount instrs,
+            std::uint64_t seed)
+{
+    TraceKey key{spec.name, instrs, seed};
+    auto it = g_trace_cache.find(key);
+    if (it == g_trace_cache.end()) {
+        it = g_trace_cache
+                 .emplace(key, workloads::buildTrace(spec, instrs, seed))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+clearTraceCache()
+{
+    g_trace_cache.clear();
+}
+
+SimResult
+runSingleCore(const workloads::WorkloadSpec &workload, SystemConfig cfg)
+{
+    cfg.num_cores = 1;
+    const Trace &trace
+        = cachedTrace(workload, cfg.warmup_instrs + cfg.sim_instrs);
+    Simulator sim(cfg, {&trace});
+    return sim.run();
+}
+
+SimResult
+runMix(const std::vector<workloads::WorkloadSpec> &workloads,
+       const workloads::Mix &mix, SystemConfig cfg)
+{
+    cfg.num_cores = 4;
+    std::vector<const Trace *> traces;
+    for (int idx : mix.workload_index) {
+        traces.push_back(&cachedTrace(workloads[static_cast<size_t>(idx)],
+                                      cfg.warmup_instrs + cfg.sim_instrs));
+    }
+    Simulator sim(cfg, traces);
+    return sim.run();
+}
+
+double
+percentDelta(double value, double baseline)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return (value / baseline - 1.0) * 100.0;
+}
+
+double
+geomeanSpeedupPct(const std::vector<double> &speedup_pcts)
+{
+    if (speedup_pcts.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double pct : speedup_pcts)
+        log_sum += std::log(std::max(1.0 + pct / 100.0, 1e-6));
+    return (std::exp(log_sum / static_cast<double>(speedup_pcts.size()))
+            - 1.0)
+        * 100.0;
+}
+
+double
+weightedSpeedupPct(const SimResult &scheme_result,
+                   const SimResult &baseline_result,
+                   const std::vector<double> &ipc_single)
+{
+    double scheme_ws = 0.0;
+    double base_ws = 0.0;
+    for (std::size_t c = 0; c < ipc_single.size(); ++c) {
+        if (ipc_single[c] <= 0.0)
+            continue;
+        scheme_ws += scheme_result.ipc[c] / ipc_single[c];
+        base_ws += baseline_result.ipc[c] / ipc_single[c];
+    }
+    return percentDelta(scheme_ws, base_ws);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           unsigned col_width)
+    : columns_(std::move(columns)), col_width_(col_width)
+{
+}
+
+void
+TablePrinter::printHeader(const std::string &title) const
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    for (const auto &c : columns_)
+        std::printf("%-*s", col_width_, c.c_str());
+    std::printf("\n");
+    printSeparator();
+}
+
+void
+TablePrinter::printRow(const std::vector<std::string> &cells) const
+{
+    for (const auto &c : cells)
+        std::printf("%-*s", col_width_, c.c_str());
+    std::printf("\n");
+}
+
+void
+TablePrinter::printSeparator() const
+{
+    for (std::size_t i = 0; i < columns_.size() * col_width_; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtPct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, v);
+    return buf;
+}
+
+} // namespace tlpsim::experiment

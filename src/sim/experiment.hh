@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment harness: shared plumbing for the bench/ binaries that
+ * regenerate the paper's tables and figures — trace caching, environment
+ * scaling knobs, single-core and multi-core runners, the paper's metrics
+ * (speedup, weighted speedup, ΔDRAM transactions), and text-table output.
+ */
+
+#ifndef TLPSIM_SIM_EXPERIMENT_HH
+#define TLPSIM_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace tlpsim::experiment
+{
+
+/** TLPSIM_INSTRS (measurement instructions per core). */
+InstrCount envInstrs(InstrCount fallback = 1'000'000);
+/** TLPSIM_WARMUP (warmup instructions per core). */
+InstrCount envWarmup(InstrCount fallback = 200'000);
+/** TLPSIM_MIXES (4-core mixes per suite). */
+int envMixes(int fallback = 4);
+
+/**
+ * Process-wide trace cache: benches sweep many schemes over the same
+ * workloads; each trace is recorded once.
+ */
+const Trace &cachedTrace(const workloads::WorkloadSpec &spec,
+                         InstrCount instrs, std::uint64_t seed = 7);
+void clearTraceCache();
+
+/** Run one workload on a single-core system. */
+SimResult runSingleCore(const workloads::WorkloadSpec &workload,
+                        SystemConfig cfg);
+
+/** Run a 4-core mix. */
+SimResult runMix(const std::vector<workloads::WorkloadSpec> &workloads,
+                 const workloads::Mix &mix, SystemConfig cfg);
+
+/** Percent change of @p value over @p baseline: +10 = 10 % more. */
+double percentDelta(double value, double baseline);
+
+/** Geometric mean of (1 + pct/100) ratios, returned as a percentage. */
+double geomeanSpeedupPct(const std::vector<double> &speedup_pcts);
+
+/**
+ * The paper's multi-core metric: Σ IPC_shared/IPC_single over the four
+ * slots, normalized to the same sum in the baseline configuration.
+ */
+double weightedSpeedupPct(const SimResult &scheme_result,
+                          const SimResult &baseline_result,
+                          const std::vector<double> &ipc_single);
+
+/** Fixed-width text table used by every bench binary. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> columns,
+                          unsigned col_width = 14);
+
+    void printHeader(const std::string &title) const;
+    void printRow(const std::vector<std::string> &cells) const;
+    void printSeparator() const;
+
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtPct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> columns_;
+    unsigned col_width_;
+};
+
+} // namespace tlpsim::experiment
+
+#endif // TLPSIM_SIM_EXPERIMENT_HH

@@ -1,0 +1,293 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+
+namespace tlpsim
+{
+
+std::uint64_t
+SimResult::sumOverCores(const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < num_cores; ++c)
+        total += stat("cpu" + std::to_string(c) + "." + suffix);
+    return total;
+}
+
+double
+SimResult::mpki(const std::string &cache) const
+{
+    std::uint64_t misses = sumOverCores(cache + ".load_miss")
+        + sumOverCores(cache + ".rfo_miss");
+    if (cache == "llc") {
+        misses = stat("llc.load_miss") + stat("llc.rfo_miss");
+    }
+    double kilo_instr
+        = static_cast<double>(sim_instrs) * num_cores / 1000.0;
+    return kilo_instr == 0.0 ? 0.0 : static_cast<double>(misses) / kilo_instr;
+}
+
+double
+SimResult::l1dPrefetchAccuracy() const
+{
+    auto useful = static_cast<double>(sumOverCores("l1d.pf_useful"));
+    auto useless = static_cast<double>(sumOverCores("l1d.pf_useless"));
+    return useful + useless == 0.0 ? 0.0 : useful / (useful + useless);
+}
+
+double
+SimResult::ppki(const std::string &counter_suffix) const
+{
+    double kilo_instr
+        = static_cast<double>(sim_instrs) * num_cores / 1000.0;
+    return kilo_instr == 0.0
+        ? 0.0
+        : static_cast<double>(sumOverCores(counter_suffix)) / kilo_instr;
+}
+
+double
+SimResult::ipcTotal() const
+{
+    double total = 0.0;
+    for (double v : ipc)
+        total += v;
+    return total;
+}
+
+Simulator::Simulator(const SystemConfig &cfg,
+                     std::vector<const Trace *> traces)
+    : cfg_(cfg), traces_(std::move(traces)), stats_("sim")
+{
+    assert(traces_.size() == cfg_.num_cores);
+    build();
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::build()
+{
+    const unsigned n = cfg_.num_cores;
+
+    DramController::Params dp = cfg_.dram;
+    dp.burst_cycles = cfg_.burstCycles();
+    dp.num_cores = n;
+    dram_ = std::make_unique<DramController>(dp, &stats_);
+
+    Cache::Params lp = cfg_.llc;
+    lp.name = "llc";
+    lp.sets *= n;                  // 1.375 MB and 64 MSHRs per core
+    lp.mshrs *= n;
+    lp.rq_size *= n;
+    lp.wq_size *= n;
+    lp.pq_size *= n;
+    llc_ = std::make_unique<Cache>(lp, dram_.get(), &stats_);
+
+    for (unsigned c = 0; c < n; ++c) {
+        const std::string cpu = "cpu" + std::to_string(c);
+        const SchemeConfig &sch = cfg_.scheme;
+
+        if (sch.hasOffchip()) {
+            OffChipPredictor::Params op;
+            op.name = cpu + ".flp";
+            op.policy = sch.offchip_policy;
+            op.tau_high = sch.tau_high;
+            op.tau_low = sch.tau_low;
+            op.training_threshold = sch.offchip_training_threshold;
+            op.table_scale_shift = sch.offchip_table_scale;
+            offchip_.push_back(
+                std::make_unique<OffChipPredictor>(op, &stats_));
+        } else {
+            offchip_.push_back(nullptr);
+        }
+
+        if (sch.slp) {
+            Slp::Params sp;
+            sp.name = cpu + ".slp";
+            sp.tau_pref = sch.slp_tau_pref;
+            sp.use_flp_feature = sch.slp_flp_feature;
+            slp_.push_back(std::make_unique<Slp>(sp, &stats_));
+        } else {
+            slp_.push_back(nullptr);
+        }
+
+        if (sch.ppf) {
+            Ppf::Params pp;
+            pp.name = cpu + ".ppf";
+            ppf_.push_back(std::make_unique<Ppf>(pp, &stats_));
+        } else {
+            ppf_.push_back(nullptr);
+        }
+
+        l1_pf_.push_back(makeL1Prefetcher(cfg_.l1_prefetcher,
+                                          cfg_.l1_pf_table_scale));
+        l2_pf_.push_back(makeL2Prefetcher(
+            sch.ppf ? L2Prefetcher::SppAggressive : L2Prefetcher::Spp));
+
+        Cache::Params p2 = cfg_.l2;
+        p2.name = cpu + ".l2c";
+        p2.prefetcher = l2_pf_.back().get();
+        p2.filter = ppf_.back().get();
+        l2_.push_back(std::make_unique<Cache>(p2, llc_.get(), &stats_));
+
+        Cache::Params p1 = cfg_.l1d;
+        p1.name = cpu + ".l1d";
+        p1.prefetcher = l1_pf_.back().get();
+        p1.filter = slp_.back().get();
+        p1.translator = [this, c](std::uint8_t, Addr vaddr) {
+            return page_table_.translate(c, vaddr);
+        };
+        // The delayed speculative path exists for FLP-style policies.
+        if (sch.offchip_policy == OffchipPolicy::Selective
+            || sch.offchip_policy == OffchipPolicy::AlwaysDelay) {
+            p1.spec_dram = dram_.get();
+        }
+        p1.spec_latency = cfg_.core.spec_latency;
+        p1.on_spec_issued = [this, c](const Packet &pkt) {
+            Counter *ctr;
+            if (l1d_[c]->probe(pkt.paddr))
+                ctr = stats_.counter("oracle.spec_block_in_l1d");
+            else if (l2_[c]->probe(pkt.paddr))
+                ctr = stats_.counter("oracle.spec_block_in_l2c");
+            else if (llc_->probe(pkt.paddr))
+                ctr = stats_.counter("oracle.spec_block_in_llc");
+            else
+                ctr = stats_.counter("oracle.spec_block_in_dram");
+            ctr->add();
+        };
+        l1d_.push_back(std::make_unique<Cache>(p1, l2_.back().get(),
+                                               &stats_));
+        // Close the self-reference used by the oracle probe above.
+
+        Cache::Params pi = cfg_.l1i;
+        pi.name = cpu + ".l1i";
+        l1i_.push_back(std::make_unique<Cache>(pi, l2_.back().get(),
+                                               &stats_));
+
+        Tlb::Params dt = cfg_.dtlb;
+        dt.name = cpu + ".dtlb";
+        dtlb_.push_back(std::make_unique<Tlb>(dt, &stats_));
+        Tlb::Params st = cfg_.stlb;
+        st.name = cpu + ".stlb";
+        stlb_.push_back(std::make_unique<Tlb>(st, &stats_));
+        tlbs_.push_back(std::make_unique<TranslationStack>(
+            dtlb_.back().get(), stlb_.back().get()));
+
+        readers_.push_back(std::make_unique<TraceReader>(*traces_[c]));
+
+        Core::Params cp = cfg_.core;
+        cp.id = c;
+        cp.name = cpu;
+
+        Core::Ports ports;
+        ports.trace = readers_.back().get();
+        ports.l1i = l1i_.back().get();
+        ports.l1d = l1d_.back().get();
+        ports.walk_target = l2_.back().get();
+        ports.tlbs = tlbs_.back().get();
+        ports.page_table = &page_table_;
+        ports.dram = dram_.get();
+        ports.offchip = offchip_.back().get();
+        ports.on_spec_issued = p1.on_spec_issued;
+        cores_.push_back(std::make_unique<Core>(cp, ports, &stats_));
+    }
+}
+
+void
+Simulator::step()
+{
+    for (auto &core : cores_)
+        core->tick(cycle_);
+    for (auto &c : l1i_)
+        c->tick(cycle_);
+    for (auto &c : l1d_)
+        c->tick(cycle_);
+    for (auto &c : l2_)
+        c->tick(cycle_);
+    llc_->tick(cycle_);
+    dram_->tick(cycle_);
+    ++cycle_;
+}
+
+SimResult
+Simulator::run()
+{
+    const unsigned n = cfg_.num_cores;
+    const InstrCount warmup = cfg_.warmup_instrs;
+    const InstrCount target = cfg_.warmup_instrs + cfg_.sim_instrs;
+    // Generous bound: IPC floor of 1/400 before we declare a hang.
+    const Cycle cap = static_cast<Cycle>(target) * 400 + 100'000;
+
+    SimResult res;
+    res.scheme = cfg_.scheme.name;
+    res.num_cores = n;
+    res.sim_instrs = cfg_.sim_instrs;
+    res.ipc.assign(n, 0.0);
+    res.cycles.assign(n, 0);
+
+    auto all_reached = [&](InstrCount k) {
+        for (auto &core : cores_) {
+            if (core->retired() < k)
+                return false;
+        }
+        return true;
+    };
+
+    while (!all_reached(warmup) && cycle_ < cap)
+        step();
+
+    stats_.resetAll();
+    Cycle measure_start = cycle_;
+    std::vector<Cycle> finish(n, 0);
+    std::vector<bool> done(n, false);
+    unsigned remaining = n;
+
+    while (remaining > 0 && cycle_ < cap) {
+        step();
+        for (unsigned c = 0; c < n; ++c) {
+            if (!done[c] && cores_[c]->retired() >= target) {
+                done[c] = true;
+                finish[c] = cycle_;
+                --remaining;
+            }
+        }
+    }
+    res.hit_cycle_cap = remaining > 0;
+
+    for (unsigned c = 0; c < n; ++c) {
+        Cycle fc = done[c] ? finish[c] : cycle_;
+        res.cycles[c] = fc - measure_start;
+        res.ipc[c] = res.cycles[c] == 0
+            ? 0.0
+            : static_cast<double>(cfg_.sim_instrs)
+                / static_cast<double>(res.cycles[c]);
+    }
+    for (auto &[name, value] : stats_.dump())
+        res.stats.emplace(name, value);
+    return res;
+}
+
+StorageBudget
+Simulator::tlpStorageBudget()
+{
+    StorageBudget b;
+
+    StatGroup scratch("scratch");
+    OffChipPredictor::Params fp;
+    fp.name = "flp";
+    OffChipPredictor flp(fp, &scratch);
+    b.merge(flp.storage(), "FLP: ");
+
+    Slp::Params sp;
+    Slp slp(sp, &scratch);
+    b.merge(slp.storage(), "SLP: ");
+
+    // Load Queue metadata (Table II): hashed PC 32b + last-4 PC 10b +
+    // first access 1b + confidence 5b, per LQ entry (72 entries).
+    b.add("LQ metadata", std::uint64_t{72} * (32 + 10 + 1 + 5));
+    // L1D MSHR metadata: same + prediction bit, per MSHR (10 entries).
+    b.add("L1D MSHR metadata", std::uint64_t{10} * (32 + 10 + 1 + 5 + 1));
+    return b;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator: composes cores, caches, TLBs, predictors, and DRAM into a
+ * system per SystemConfig, runs warmup + measurement, and returns a
+ * SimResult snapshot. Owns every component; nothing escapes its lifetime.
+ */
+
+#ifndef TLPSIM_SIM_SIMULATOR_HH
+#define TLPSIM_SIM_SIMULATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "filter/ppf.hh"
+#include "mem/dram.hh"
+#include "offchip/offchip_predictor.hh"
+#include "offchip/slp.hh"
+#include "sim/system_config.hh"
+#include "tlb/page_table.hh"
+#include "tlb/tlb.hh"
+#include "trace/trace.hh"
+
+namespace tlpsim
+{
+
+/** Everything an experiment needs from one finished simulation. */
+struct SimResult
+{
+    std::string scheme;
+    unsigned num_cores = 0;
+    InstrCount sim_instrs = 0;              ///< per core
+    std::vector<double> ipc;                ///< per core, measurement phase
+    std::vector<Cycle> cycles;              ///< per core measurement cycles
+    bool hit_cycle_cap = false;
+    std::map<std::string, std::uint64_t> stats;
+
+    std::uint64_t
+    stat(const std::string &name) const
+    {
+        auto it = stats.find(name);
+        return it == stats.end() ? 0 : it->second;
+    }
+
+    /** Sum a per-core stat "cpuN.<suffix>" over all cores. */
+    std::uint64_t sumOverCores(const std::string &suffix) const;
+
+    /** Demand (load+RFO) MPKI of a cache level ("l1d", "l2c", "llc"). */
+    double mpki(const std::string &cache) const;
+
+    /** Total DRAM transactions (the Figs. 2/3/11/14/16 metric). */
+    std::uint64_t dramTransactions() const
+    {
+        return stat("dram.transactions");
+    }
+
+    /** L1D prefetch accuracy: useful / (useful + useless), Fig. 12. */
+    double l1dPrefetchAccuracy() const;
+
+    /** Prefetches per kilo-instruction helpers for Figs. 5/6. */
+    double ppki(const std::string &counter_suffix) const;
+
+    double ipcTotal() const;
+};
+
+class Simulator
+{
+  public:
+    /**
+     * @param cfg     full system configuration
+     * @param traces  one trace per core (repeated cyclically if shorter
+     *                than the simulation length)
+     */
+    Simulator(const SystemConfig &cfg, std::vector<const Trace *> traces);
+    ~Simulator();
+
+    /** Warmup + measure; may only be called once. */
+    SimResult run();
+
+    /** Tick every unit once (exposed for tests). */
+    void step();
+
+    Cycle cycle() const { return cycle_; }
+    StatGroup &stats() { return stats_; }
+    Core &core(unsigned i) { return *cores_[i]; }
+    Cache &l1d(unsigned i) { return *l1d_[i]; }
+    Cache &l2(unsigned i) { return *l2_[i]; }
+    Cache &llc() { return *llc_; }
+    DramController &dram() { return *dram_; }
+
+    /** Combined TLP storage budget (Table II). */
+    static StorageBudget tlpStorageBudget();
+
+  private:
+    void build();
+
+    SystemConfig cfg_;
+    std::vector<const Trace *> traces_;
+    StatGroup stats_;
+    Cycle cycle_ = 0;
+
+    PageTable page_table_;
+    std::unique_ptr<DramController> dram_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Cache>> l2_;
+    std::vector<std::unique_ptr<Cache>> l1d_;
+    std::vector<std::unique_ptr<Cache>> l1i_;
+    std::vector<std::unique_ptr<Tlb>> dtlb_;
+    std::vector<std::unique_ptr<Tlb>> stlb_;
+    std::vector<std::unique_ptr<TranslationStack>> tlbs_;
+    std::vector<std::unique_ptr<OffChipPredictor>> offchip_;
+    std::vector<std::unique_ptr<Slp>> slp_;
+    std::vector<std::unique_ptr<Ppf>> ppf_;
+    std::vector<std::unique_ptr<Prefetcher>> l1_pf_;
+    std::vector<std::unique_ptr<Prefetcher>> l2_pf_;
+    std::vector<std::unique_ptr<TraceReader>> readers_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,265 @@
+#include "sim/system_config.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tlpsim
+{
+
+SchemeConfig
+SchemeConfig::baseline()
+{
+    return {};
+}
+
+SchemeConfig
+SchemeConfig::ppfScheme()
+{
+    SchemeConfig s;
+    s.name = "ppf";
+    s.ppf = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::hermes()
+{
+    SchemeConfig s;
+    s.name = "hermes";
+    s.offchip_policy = OffchipPolicy::Immediate;
+    s.tau_high = 4;   // Hermes' single activation threshold (aggressive)
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::hermesPpf()
+{
+    SchemeConfig s = hermes();
+    s.name = "hermes+ppf";
+    s.ppf = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::tlp()
+{
+    SchemeConfig s;
+    s.name = "tlp";
+    s.offchip_policy = OffchipPolicy::Selective;
+    s.slp = true;
+    s.slp_flp_feature = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::flpOnly()
+{
+    SchemeConfig s;
+    s.name = "flp";
+    s.offchip_policy = OffchipPolicy::Immediate;
+    s.tau_high = 4;   // without the delay mechanism FLP fires like Hermes
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::slpOnly()
+{
+    SchemeConfig s;
+    s.name = "slp";
+    s.slp = true;
+    s.slp_flp_feature = false;   // no FLP exists to supply the feature
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::tsp()
+{
+    SchemeConfig s;
+    s.name = "tsp";
+    s.offchip_policy = OffchipPolicy::Immediate;
+    s.tau_high = 4;
+    s.slp = true;
+    s.slp_flp_feature = false;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::delayedTsp()
+{
+    SchemeConfig s;
+    s.name = "delayed_tsp";
+    s.offchip_policy = OffchipPolicy::AlwaysDelay;
+    s.slp = true;
+    s.slp_flp_feature = false;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::selectiveTsp()
+{
+    SchemeConfig s;
+    s.name = "selective_tsp";
+    s.offchip_policy = OffchipPolicy::Selective;
+    s.slp = true;
+    s.slp_flp_feature = false;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::hermesPlus7kb()
+{
+    SchemeConfig s = hermes();
+    s.name = "hermes+7kb";
+    s.offchip_table_scale = 2;   // 4x tables ≈ +7.7 KB
+    return s;
+}
+
+std::vector<SchemeConfig>
+SchemeConfig::paperSchemes()
+{
+    return {ppfScheme(), hermes(), hermesPpf(), tlp()};
+}
+
+std::vector<SchemeConfig>
+SchemeConfig::ablationSchemes()
+{
+    return {flpOnly(), slpOnly(), tsp(), delayedTsp(), selectiveTsp(), tlp()};
+}
+
+SystemConfig
+SystemConfig::cascadeLake(unsigned cores)
+{
+    SystemConfig c;
+    c.num_cores = cores;
+    c.dram_gbps_per_core = cores == 1 ? 12.8 : 3.2;
+
+    c.core.rob_size = 224;
+    c.core.fetch_width = 4;
+    c.core.retire_width = 4;
+    c.core.lq_size = 72;
+    c.core.sq_size = 56;
+    c.core.mispredict_penalty = 6;
+    c.core.spec_latency = 6;
+
+    c.l1i.level = MemLevel::L1D;    // stats-only; L1I has no prefetcher
+    c.l1i.level_num = 1;
+    c.l1i.sets = 64;
+    c.l1i.ways = 8;
+    c.l1i.latency = 4;
+    c.l1i.mshrs = 10;
+    c.l1i.rq_size = 16;
+    c.l1i.wq_size = 4;
+    c.l1i.pq_size = 4;
+
+    c.l1d.level = MemLevel::L1D;
+    c.l1d.level_num = 1;
+    c.l1d.sets = 64;        // 32 KB, 8-way
+    c.l1d.ways = 8;
+    c.l1d.latency = 4;
+    c.l1d.mshrs = 10;
+    c.l1d.rq_size = 32;
+    c.l1d.wq_size = 32;
+    c.l1d.pq_size = 16;
+
+    c.l2.level = MemLevel::L2C;
+    c.l2.level_num = 2;
+    c.l2.sets = 1024;       // 1 MB, 16-way
+    c.l2.ways = 16;
+    c.l2.latency = 10;
+    c.l2.mshrs = 16;
+    c.l2.rq_size = 32;
+    c.l2.wq_size = 32;
+    c.l2.pq_size = 32;
+
+    c.llc.level = MemLevel::LLC;
+    c.llc.level_num = 3;
+    c.llc.sets = 2048;      // 1.375 MB, 11-way (per core; scaled by cores)
+    c.llc.ways = 11;
+    c.llc.latency = 40;     // Table III: 36/56 cycles
+    c.llc.mshrs = 64;
+    c.llc.rq_size = 64;
+    c.llc.wq_size = 64;
+    c.llc.pq_size = 64;
+
+    c.dtlb.name = "dtlb";
+    c.dtlb.entries = 64;
+    c.dtlb.ways = 4;
+    c.dtlb.latency = 1;
+
+    c.stlb.name = "stlb";
+    c.stlb.entries = 1536;
+    c.stlb.ways = 12;
+    c.stlb.latency = 8;
+
+    c.dram.banks = 8;
+    c.dram.blocks_per_row = 128;
+    c.dram.t_rp = c.dram.t_rcd = c.dram.t_cas = 24;
+    c.dram.rq_size = 64;
+    c.dram.wq_size = 64;
+    c.dram.spec_buffer_entries = 64;
+    return c;
+}
+
+unsigned
+SystemConfig::burstCycles() const
+{
+    double total_gbps = dram_gbps_per_core * num_cores;
+    double ns_per_line = 64.0 / total_gbps;
+    auto cycles = static_cast<unsigned>(std::lround(ns_per_line * core_ghz));
+    return cycles == 0 ? 1 : cycles;
+}
+
+std::string
+SystemConfig::description() const
+{
+    char buf[512];
+    std::string out;
+    out += "System configuration (Table III)\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  CPU        : %u core(s), %.1f GHz, 4-wide OoO, "
+                  "%u-entry ROB, 6-cycle mispredict refill\n",
+                  num_cores, core_ghz, core.rob_size);
+    out += buf;
+    out += "  Branch pred: hashed-perceptron\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  L1 DTLB    : %u-entry, %u-way, %ucc\n", dtlb.entries,
+                  dtlb.ways, dtlb.latency);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  L2 TLB     : %u-entry, %u-way, %ucc\n", stlb.entries,
+                  stlb.ways, stlb.latency);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  L1I        : %u KB, %u-way, %ucc, %u MSHRs\n",
+                  l1i.sets * l1i.ways * 64 / 1024, l1i.ways, l1i.latency,
+                  l1i.mshrs);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  L1D        : %u KB, %u-way, %ucc, %u MSHRs, "
+                  "prefetcher=%s\n",
+                  l1d.sets * l1d.ways * 64 / 1024, l1d.ways, l1d.latency,
+                  l1d.mshrs, toString(l1_prefetcher));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  L2C        : %u KB, %u-way, %ucc, %u MSHRs, "
+                  "prefetcher=spp\n",
+                  l2.sets * l2.ways * 64 / 1024, l2.ways, l2.latency,
+                  l2.mshrs);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  LLC        : %.3f MB/core, %u-way, %ucc, %u MSHRs\n",
+                  llc.sets * llc.ways * 64.0 / (1024.0 * 1024.0), llc.ways,
+                  llc.latency, llc.mshrs);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  DRAM       : %.1f GB/s per core, tRP=tRCD=tCAS=%u, "
+                  "%u banks, burst=%u cycles\n",
+                  dram_gbps_per_core, dram.t_rp, dram.banks, burstCycles());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  Scheme     : %s\n",
+                  scheme.name.c_str());
+    out += buf;
+    return out;
+}
+
+} // namespace tlpsim

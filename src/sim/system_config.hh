@@ -1,0 +1,101 @@
+/**
+ * @file
+ * System configuration: the Table III baseline (Intel Cascade Lake-like)
+ * plus the "scheme" axis — which combination of off-chip prediction and
+ * prefetch filtering is deployed. Every evaluated design point in the
+ * paper (baseline, PPF, Hermes, Hermes+PPF, TLP, and the Fig. 15
+ * ablations) is a SchemeConfig; Fig. 17's storage-boosted designs are
+ * table-scale variants.
+ */
+
+#ifndef TLPSIM_SIM_SYSTEM_CONFIG_HH
+#define TLPSIM_SIM_SYSTEM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/core.hh"
+#include "mem/dram.hh"
+#include "offchip/offchip_predictor.hh"
+#include "offchip/slp.hh"
+#include "prefetch/factory.hh"
+#include "tlb/tlb.hh"
+
+namespace tlpsim
+{
+
+/** One evaluated design point (off-chip prediction × prefetch filtering). */
+struct SchemeConfig
+{
+    std::string name = "baseline";
+    OffchipPolicy offchip_policy = OffchipPolicy::None;
+    int tau_high = 30;   ///< FLP τ_high / Hermes activation threshold
+    int tau_low = 8;     ///< FLP τ_low (predicted-off-chip cut)
+    int offchip_training_threshold = 30;
+    unsigned offchip_table_scale = 0;   ///< Fig. 17 "+7KB Hermes"
+    bool slp = false;
+    bool slp_flp_feature = true;
+    int slp_tau_pref = 8;
+    bool ppf = false;
+
+    bool hasOffchip() const { return offchip_policy != OffchipPolicy::None; }
+
+    // --- The paper's named design points --------------------------------
+    static SchemeConfig baseline();
+    static SchemeConfig ppfScheme();       ///< PPF over aggressive SPP
+    static SchemeConfig hermes();          ///< Hermes (immediate)
+    static SchemeConfig hermesPpf();       ///< Hermes + PPF
+    static SchemeConfig tlp();             ///< FLP selective + SLP (+feature)
+    // Fig. 15 ablation points
+    static SchemeConfig flpOnly();         ///< FLP w/o selective delay
+    static SchemeConfig slpOnly();         ///< SLP w/o FLP
+    static SchemeConfig tsp();             ///< FLP immediate + SLP w/o feature
+    static SchemeConfig delayedTsp();      ///< always-delay + SLP w/o feature
+    static SchemeConfig selectiveTsp();    ///< selective + SLP w/o feature
+    // Fig. 17
+    static SchemeConfig hermesPlus7kb();
+
+    /** The four comparison points of Figs. 10-14. */
+    static std::vector<SchemeConfig> paperSchemes();
+
+    /** The six Fig. 15 ablation points. */
+    static std::vector<SchemeConfig> ablationSchemes();
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    unsigned num_cores = 1;
+    InstrCount warmup_instrs = 200'000;
+    InstrCount sim_instrs = 1'000'000;
+    /** Per-core DRAM bandwidth (Table III: 12.8 single, 3.2 multi). */
+    double dram_gbps_per_core = 12.8;
+    double core_ghz = 3.8;
+
+    L1Prefetcher l1_prefetcher = L1Prefetcher::Ipcp;
+    unsigned l1_pf_table_scale = 0;     ///< Fig. 17 "+7KB IPCP/Berti"
+    SchemeConfig scheme;
+
+    Core::Params core;
+    Cache::Params l1i;
+    Cache::Params l1d;
+    Cache::Params l2;
+    Cache::Params llc;    ///< per-core share; Simulator scales sets
+    Tlb::Params dtlb;
+    Tlb::Params stlb;
+    DramController::Params dram;
+
+    /** Table III defaults. */
+    static SystemConfig cascadeLake(unsigned cores = 1);
+
+    /** DRAM burst occupancy for the configured bandwidth. */
+    unsigned burstCycles() const;
+
+    /** Human-readable Table III rendering (bench/table3_config). */
+    std::string description() const;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,35 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace tlpsim
+{
+
+Trace::Summary
+Trace::summarize() const
+{
+    Summary s;
+    std::unordered_set<Addr> pages;
+    for (const auto &i : instrs_) {
+        ++s.instrs;
+        if (i.isLoad()) {
+            ++s.loads;
+            pages.insert(pageNumber(i.ld_vaddr));
+        }
+        if (i.isStore()) {
+            ++s.stores;
+            pages.insert(pageNumber(i.st_vaddr));
+        }
+        if (i.isBranch()) {
+            ++s.branches;
+            if (i.taken)
+                ++s.taken_branches;
+        }
+    }
+    s.distinct_pages = pages.size();
+    s.working_set_mb = static_cast<double>(pages.size()) * kPageSize
+        / (1024.0 * 1024.0);
+    return s;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Instruction trace format.
+ *
+ * tlpsim is trace-driven in the ChampSim style: the core consumes a stream
+ * of retired-instruction records carrying the program counter, register
+ * dependencies, at most one load and one store address, and branch
+ * behaviour. Traces are produced in-process by the workload synthesizers
+ * (src/workloads) and held in memory; there is no on-disk format because
+ * generation is cheap and deterministic.
+ */
+
+#ifndef TLPSIM_TRACE_TRACE_HH
+#define TLPSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tlpsim
+{
+
+/** Logical register id; 0 is the "no register" sentinel. */
+using RegId = std::uint8_t;
+constexpr RegId kNoReg = 0;
+/** Number of architectural registers the recorder rotates through. */
+constexpr unsigned kNumRegs = 64;
+
+/** Branch classification carried by trace records. */
+enum class BranchKind : std::uint8_t
+{
+    NotBranch,
+    Conditional,
+    Direct,        ///< unconditional direct jump/call
+    Indirect,      ///< indirect jump/call/return
+};
+
+/**
+ * One retired instruction. Exactly 32 bytes so large traces stay cheap.
+ */
+struct TraceInstr
+{
+    Addr ip = 0;          ///< program counter (virtual)
+    Addr ld_vaddr = 0;    ///< load virtual address, 0 = no load
+    Addr st_vaddr = 0;    ///< store virtual address, 0 = no store
+    RegId src0 = kNoReg;  ///< first source register
+    RegId src1 = kNoReg;  ///< second source register
+    RegId dst = kNoReg;   ///< destination register
+    BranchKind branch = BranchKind::NotBranch;
+    bool taken = false;   ///< branch outcome (meaningful if branch != NotBranch)
+    std::uint8_t pad[3] = {};
+
+    bool isLoad() const { return ld_vaddr != 0; }
+    bool isStore() const { return st_vaddr != 0; }
+    bool isBranch() const { return branch != BranchKind::NotBranch; }
+};
+
+static_assert(sizeof(TraceInstr) == 32, "trace record must stay compact");
+
+/**
+ * An in-memory instruction trace plus identifying metadata.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    void reserve(std::size_t n) { instrs_.reserve(n); }
+    void push(const TraceInstr &i) { instrs_.push_back(i); }
+
+    const TraceInstr &at(std::size_t i) const { return instrs_[i]; }
+    std::size_t size() const { return instrs_.size(); }
+    bool empty() const { return instrs_.empty(); }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Simple content summary used by tests and table benches. */
+    struct Summary
+    {
+        std::uint64_t instrs = 0;
+        std::uint64_t loads = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t branches = 0;
+        std::uint64_t taken_branches = 0;
+        std::uint64_t distinct_pages = 0;  ///< unique data pages touched
+        double working_set_mb = 0.0;       ///< distinct_pages * 4 KiB in MiB
+    };
+
+    Summary summarize() const;
+
+  private:
+    std::string name_;
+    std::vector<TraceInstr> instrs_;
+};
+
+/**
+ * Cursor over a Trace that loops forever (ChampSim repeats traces that are
+ * shorter than the requested simulation length).
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const Trace &trace) : trace_(&trace) {}
+
+    /** Next record without consuming it. */
+    const TraceInstr &peek() const { return trace_->at(pos_); }
+
+    const TraceInstr &
+    next()
+    {
+        const TraceInstr &i = trace_->at(pos_);
+        if (++pos_ == trace_->size())
+            pos_ = 0;
+        return i;
+    }
+
+    std::size_t position() const { return pos_; }
+    const Trace &trace() const { return *trace_; }
+
+  private:
+    const Trace *trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_TRACE_TRACE_HH

@@ -1,0 +1,262 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/rng.hh"
+
+namespace tlpsim::workloads
+{
+
+Vertex
+Graph::maxDegreeVertex() const
+{
+    Vertex best = 0;
+    std::uint64_t best_deg = 0;
+    for (Vertex v = 0; v < numVertices(); ++v) {
+        if (degree(v) > best_deg) {
+            best_deg = degree(v);
+            best = v;
+        }
+    }
+    return best;
+}
+
+std::uint64_t
+Graph::maxDegree() const
+{
+    std::uint64_t best = 0;
+    for (Vertex v = 0; v < numVertices(); ++v)
+        best = std::max(best, degree(v));
+    return best;
+}
+
+double
+Graph::avgDegree() const
+{
+    return numVertices() == 0
+        ? 0.0
+        : static_cast<double>(numEdges()) / numVertices();
+}
+
+const char *
+toString(GraphKind k)
+{
+    switch (k) {
+      case GraphKind::Web: return "web";
+      case GraphKind::Road: return "road";
+      case GraphKind::Twitter: return "twitter";
+      case GraphKind::Kron: return "kron";
+      case GraphKind::Urand: return "urand";
+    }
+    return "?";
+}
+
+namespace
+{
+
+using EdgeList = std::vector<std::pair<Vertex, Vertex>>;
+
+/** One RMAT edge draw with recursive quadrant selection. */
+std::pair<Vertex, Vertex>
+rmatEdge(Rng &rng, unsigned scale, double a, double b, double c)
+{
+    Vertex src = 0;
+    Vertex dst = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+        double r = rng.uniform();
+        if (r < a) {
+            // top-left: neither bit set
+        } else if (r < a + b) {
+            dst |= Vertex{1} << bit;
+        } else if (r < a + b + c) {
+            src |= Vertex{1} << bit;
+        } else {
+            src |= Vertex{1} << bit;
+            dst |= Vertex{1} << bit;
+        }
+    }
+    return {src, dst};
+}
+
+EdgeList
+genRmat(Rng &rng, unsigned scale, std::uint64_t num_edges, double a,
+        double b, double c)
+{
+    EdgeList edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        auto [u, v] = rmatEdge(rng, scale, a, b, c);
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    return edges;
+}
+
+EdgeList
+genUrand(Rng &rng, Vertex n, std::uint64_t num_edges)
+{
+    EdgeList edges;
+    edges.reserve(num_edges);
+    for (std::uint64_t i = 0; i < num_edges; ++i) {
+        auto u = static_cast<Vertex>(rng.below(n));
+        auto v = static_cast<Vertex>(rng.below(n));
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    return edges;
+}
+
+/**
+ * Preferential attachment (web-like): each new vertex links to d targets
+ * sampled from the endpoint pool, producing a power-law with the spatial
+ * locality of crawl order.
+ */
+EdgeList
+genWeb(Rng &rng, Vertex n, unsigned d)
+{
+    EdgeList edges;
+    edges.reserve(static_cast<std::uint64_t>(n) * d);
+    std::vector<Vertex> pool;
+    pool.reserve(static_cast<std::uint64_t>(n) * d * 2);
+    pool.push_back(0);
+    for (Vertex v = 1; v < n; ++v) {
+        for (unsigned k = 0; k < d; ++k) {
+            Vertex target = pool[rng.below(pool.size())];
+            if (target != v) {
+                edges.emplace_back(v, target);
+                pool.push_back(target);
+            }
+            pool.push_back(v);
+        }
+    }
+    return edges;
+}
+
+/** Grid side for a road graph of >= n vertices (power-of-two square). */
+Vertex
+roadSide(Vertex n)
+{
+    auto side = static_cast<Vertex>(1);
+    while (static_cast<std::uint64_t>(side) * side < n)
+        side <<= 1;
+    return side;
+}
+
+/** 2D mesh with 4-neighborhood plus sparse random shortcuts (road-like). */
+EdgeList
+genRoad(Rng &rng, Vertex side)
+{
+    Vertex n = side * side;
+    EdgeList edges;
+    edges.reserve(static_cast<std::uint64_t>(n) * 2 + n / 16);
+    for (Vertex y = 0; y < side; ++y) {
+        for (Vertex x = 0; x < side; ++x) {
+            Vertex v = y * side + x;
+            if (x + 1 < side)
+                edges.emplace_back(v, v + 1);
+            if (y + 1 < side)
+                edges.emplace_back(v, v + side);
+        }
+    }
+    // Highways: a few long-range links, as in real road networks.
+    for (Vertex i = 0; i < n / 16; ++i) {
+        auto u = static_cast<Vertex>(rng.below(n));
+        auto v = static_cast<Vertex>(rng.below(n));
+        if (u != v)
+            edges.emplace_back(u, v);
+    }
+    return edges;
+}
+
+/** Symmetrize an edge list and pack it into CSR form. */
+Graph
+buildCsr(Vertex n, const EdgeList &edges)
+{
+    Graph g;
+    g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto &[u, v] : edges) {
+        ++g.offsets[u + 1];
+        ++g.offsets[v + 1];
+    }
+    for (std::size_t i = 1; i < g.offsets.size(); ++i)
+        g.offsets[i] += g.offsets[i - 1];
+    g.neighbors.resize(g.offsets.back());
+    std::vector<std::uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (const auto &[u, v] : edges) {
+        g.neighbors[cursor[u]++] = v;
+        g.neighbors[cursor[v]++] = u;
+    }
+    return g;
+}
+
+} // namespace
+
+Graph
+makeGraph(GraphKind kind, unsigned scale, unsigned avg_degree,
+          std::uint64_t seed)
+{
+    Rng rng(seed ^ (static_cast<std::uint64_t>(kind) << 56)
+            ^ (std::uint64_t{scale} << 48));
+    auto n = Vertex{1} << scale;
+    // avg_degree counts directed edges per vertex post-symmetrization, so
+    // draw n*d/2 undirected edges.
+    std::uint64_t num_edges = (static_cast<std::uint64_t>(n) * avg_degree) / 2;
+
+    EdgeList edges;
+    switch (kind) {
+      case GraphKind::Kron:
+        edges = genRmat(rng, scale, num_edges, 0.57, 0.19, 0.19);
+        break;
+      case GraphKind::Twitter:
+        edges = genRmat(rng, scale, num_edges, 0.62, 0.17, 0.17);
+        break;
+      case GraphKind::Web:
+        edges = genWeb(rng, n, std::max(1u, avg_degree / 2));
+        break;
+      case GraphKind::Urand:
+        edges = genUrand(rng, n, num_edges);
+        break;
+      case GraphKind::Road:
+        n = roadSide(n) * roadSide(n);   // grid must be square
+        edges = genRoad(rng, roadSide(n));
+        break;
+    }
+    return buildCsr(n, edges);
+}
+
+namespace
+{
+
+using CacheKey = std::tuple<int, unsigned, unsigned, std::uint64_t>;
+std::map<CacheKey, std::unique_ptr<Graph>> g_graph_cache;
+
+} // namespace
+
+const Graph &
+GraphCache::get(GraphKind kind, unsigned scale, unsigned avg_degree,
+                std::uint64_t seed)
+{
+    CacheKey key{static_cast<int>(kind), scale, avg_degree, seed};
+    auto it = g_graph_cache.find(key);
+    if (it == g_graph_cache.end()) {
+        // Keep at most two graphs resident: GAP benches iterate kernels
+        // grouped by graph, so this caps memory without thrashing.
+        if (g_graph_cache.size() >= 2)
+            g_graph_cache.erase(g_graph_cache.begin());
+        it = g_graph_cache
+                 .emplace(key, std::make_unique<Graph>(
+                                   makeGraph(kind, scale, avg_degree, seed)))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+GraphCache::clear()
+{
+    g_graph_cache.clear();
+}
+
+} // namespace tlpsim::workloads

@@ -1,0 +1,122 @@
+#include "workloads/recorder.hh"
+
+namespace tlpsim::workloads
+{
+
+namespace
+{
+
+/** PC of the caller's call site (stable per static call site). */
+inline Addr
+callerPc()
+{
+    return reinterpret_cast<Addr>(
+        __builtin_extract_return_addr(__builtin_return_address(0)));
+}
+
+} // namespace
+
+Addr
+TraceRecorder::alloc(std::uint64_t bytes)
+{
+    Addr base = brk_;
+    // Round the region up to a page and leave one guard page between
+    // regions so distinct arrays never share a page (keeps first-access
+    // features meaningful).
+    std::uint64_t sz = (bytes + kPageMask) & ~kPageMask;
+    brk_ += sz + kPageSize;
+    return base;
+}
+
+RegId
+TraceRecorder::load(Addr vaddr, RegId a, RegId b)
+{
+    return loadAt(callerPc(), vaddr, a, b);
+}
+
+void
+TraceRecorder::store(Addr vaddr, RegId a, RegId b)
+{
+    storeAt(callerPc(), vaddr, a, b);
+}
+
+RegId
+TraceRecorder::alu(RegId a, RegId b)
+{
+    return aluAt(callerPc(), a, b);
+}
+
+void
+TraceRecorder::branch(bool taken, RegId a)
+{
+    branchAt(callerPc(), taken, a);
+}
+
+void
+TraceRecorder::jump()
+{
+    if (full())
+        return;
+    TraceInstr i;
+    i.ip = callerPc();
+    i.branch = BranchKind::Direct;
+    i.taken = true;
+    trace_->push(i);
+}
+
+RegId
+TraceRecorder::loadAt(Addr ip, Addr vaddr, RegId a, RegId b)
+{
+    if (full())
+        return allocReg();
+    TraceInstr i;
+    i.ip = ip;
+    i.ld_vaddr = vaddr;
+    i.src0 = a;
+    i.src1 = b;
+    i.dst = allocReg();
+    trace_->push(i);
+    return i.dst;
+}
+
+void
+TraceRecorder::storeAt(Addr ip, Addr vaddr, RegId a, RegId b)
+{
+    if (full())
+        return;
+    TraceInstr i;
+    i.ip = ip;
+    i.st_vaddr = vaddr;
+    i.src0 = a;
+    i.src1 = b;
+    trace_->push(i);
+}
+
+RegId
+TraceRecorder::aluAt(Addr ip, RegId a, RegId b)
+{
+    if (full())
+        return allocReg();
+    TraceInstr i;
+    i.ip = ip;
+    i.src0 = a;
+    i.src1 = b;
+    i.dst = allocReg();
+    trace_->push(i);
+    return i.dst;
+}
+
+void
+TraceRecorder::branchAt(Addr ip, bool taken, RegId a)
+{
+    if (full())
+        return;
+    TraceInstr i;
+    i.ip = ip;
+    i.branch = BranchKind::Conditional;
+    i.taken = taken;
+    i.src0 = a;
+    trace_->push(i);
+}
+
+} // namespace tlpsim::workloads

@@ -1,0 +1,138 @@
+#include "workloads/workload.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/rng.hh"
+
+namespace tlpsim::workloads
+{
+
+const char *
+toString(Suite s)
+{
+    return s == Suite::Spec ? "SPEC" : "GAP";
+}
+
+ScaleParams
+scaleParams(SetSize s)
+{
+    switch (s) {
+      case SetSize::Tiny:
+        return {
+            12, 8, 4,
+            {GraphKind::Kron, GraphKind::Road},
+            {SpecKernel::McfPchase, SpecKernel::LibqStream},
+        };
+      case SetSize::Small:
+        return {
+            21, 10, 1,
+            {GraphKind::Kron, GraphKind::Road, GraphKind::Urand},
+            {SpecKernel::McfPchase, SpecKernel::LbmStencil,
+             SpecKernel::XalanHash, SpecKernel::OmnetppHeap,
+             SpecKernel::DeepsjengTt, SpecKernel::RomsSpmv},
+        };
+      case SetSize::Full:
+        return {
+            21, 12, 0,
+            {GraphKind::Web, GraphKind::Road, GraphKind::Twitter,
+             GraphKind::Kron, GraphKind::Urand},
+            {SpecKernel::McfPchase, SpecKernel::LbmStencil,
+             SpecKernel::LibqStream, SpecKernel::OmnetppHeap,
+             SpecKernel::XalanHash, SpecKernel::GccMixed,
+             SpecKernel::DeepsjengTt, SpecKernel::RomsSpmv},
+        };
+    }
+    return scaleParams(SetSize::Small);
+}
+
+SetSize
+setSizeFromEnv()
+{
+    const char *v = std::getenv("TLPSIM_SET");
+    if (v == nullptr)
+        return SetSize::Small;
+    if (std::strcmp(v, "full") == 0)
+        return SetSize::Full;
+    if (std::strcmp(v, "tiny") == 0)
+        return SetSize::Tiny;
+    return SetSize::Small;
+}
+
+std::vector<WorkloadSpec>
+singleCoreWorkloads(SetSize s)
+{
+    ScaleParams p = scaleParams(s);
+    std::vector<WorkloadSpec> out;
+
+    for (GapKernel k : kAllGapKernels) {
+        for (GraphKind gk : p.graphs) {
+            WorkloadSpec w;
+            w.name = std::string(toString(k)) + "." + toString(gk);
+            w.suite = Suite::Gap;
+            w.record = [k, gk, p](TraceRecorder &rec, std::uint64_t seed) {
+                const Graph &g = GraphCache::get(gk, p.graph_scale,
+                                                 p.graph_degree, 42);
+                recordGapKernel(k, g, rec, seed);
+            };
+            out.push_back(std::move(w));
+        }
+    }
+    for (SpecKernel k : p.spec_kernels) {
+        WorkloadSpec w;
+        w.name = toString(k);
+        w.suite = Suite::Spec;
+        w.record = [k, p](TraceRecorder &rec, std::uint64_t seed) {
+            recordSpecKernel(k, rec, seed, p.spec_ws_shift);
+        };
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+Trace
+buildTrace(const WorkloadSpec &spec, std::uint64_t instrs, std::uint64_t seed)
+{
+    Trace trace(spec.name);
+    TraceRecorder::Options opt;
+    opt.max_instrs = instrs;
+    TraceRecorder rec(trace, opt);
+    spec.record(rec, seed);
+    return trace;
+}
+
+std::vector<Mix>
+makeMixes(const std::vector<WorkloadSpec> &workloads, int mixes_per_suite,
+          std::uint64_t seed)
+{
+    std::vector<Mix> mixes;
+    for (Suite suite : {Suite::Spec, Suite::Gap}) {
+        std::vector<int> candidates;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            if (workloads[i].suite == suite)
+                candidates.push_back(static_cast<int>(i));
+        }
+        if (candidates.empty())
+            continue;
+        Rng rng(seed ^ (suite == Suite::Gap ? 0x9a9 : 0x5e5));
+        for (int m = 0; m < mixes_per_suite; ++m) {
+            Mix mix;
+            mix.suite = suite;
+            mix.homogeneous = m < mixes_per_suite / 2;
+            if (mix.homogeneous) {
+                int w = candidates[rng.below(candidates.size())];
+                mix.workload_index = {w, w, w, w};
+                mix.name = std::string("homo.") + workloads[w].name;
+            } else {
+                for (auto &slot : mix.workload_index)
+                    slot = candidates[rng.below(candidates.size())];
+                mix.name = std::string("hetero.") + toString(suite) + "."
+                    + std::to_string(m);
+            }
+            mixes.push_back(std::move(mix));
+        }
+    }
+    return mixes;
+}
+
+} // namespace tlpsim::workloads

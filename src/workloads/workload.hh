@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Workload registry: named single-core workloads and multi-core mixes.
+ *
+ * Mirrors the paper's methodology (§V-B..D): GAP workloads are
+ * kernel × input-graph combinations, SPEC workloads are the SPEC-like
+ * kernels, and multi-core mixes are random homogeneous / heterogeneous
+ * 4-tuples drawn per suite. Everything is deterministic in the seed.
+ *
+ * Set sizes: the paper uses 55 single-core workloads and 200 mixes at
+ * 100M instructions; a laptop bench run scales that down. `Small` is the
+ * default; `Full` (TLPSIM_SET=full) widens graphs and workload counts.
+ */
+
+#ifndef TLPSIM_WORKLOADS_WORKLOAD_HH
+#define TLPSIM_WORKLOADS_WORKLOAD_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/gap_kernels.hh"
+#include "workloads/graph.hh"
+#include "workloads/spec_kernels.hh"
+
+namespace tlpsim::workloads
+{
+
+/** Benchmark suite a workload belongs to (drives per-suite reporting). */
+enum class Suite
+{
+    Spec,
+    Gap,
+};
+
+const char *toString(Suite s);
+
+/** A named, recordable workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    Suite suite;
+    /** Record the workload into @p rec with randomness from @p seed. */
+    std::function<void(TraceRecorder &, std::uint64_t)> record;
+};
+
+/** Workload-set scaling. */
+enum class SetSize
+{
+    Tiny,    ///< unit/integration tests: small graphs, tiny working sets
+    Small,   ///< default bench scale
+    Full,    ///< TLPSIM_SET=full: widest graph/workload coverage
+};
+
+/** Parameters that depend on SetSize. */
+struct ScaleParams
+{
+    unsigned graph_scale;    ///< log2 vertices
+    unsigned graph_degree;   ///< average directed degree
+    unsigned spec_ws_shift;  ///< working-set right-shift for SPEC kernels
+    std::vector<GraphKind> graphs;        ///< input graphs used
+    std::vector<SpecKernel> spec_kernels; ///< SPEC-like kernels used
+};
+
+ScaleParams scaleParams(SetSize s);
+
+/** Reads TLPSIM_SET (tiny|small|full); defaults to Small. */
+SetSize setSizeFromEnv();
+
+/** All single-core workloads for a set size (GAP first, then SPEC). */
+std::vector<WorkloadSpec> singleCoreWorkloads(SetSize s);
+
+/** Build a trace of @p instrs records for @p spec. */
+Trace buildTrace(const WorkloadSpec &spec, std::uint64_t instrs,
+                 std::uint64_t seed);
+
+/** A multi-core mix: indices into a workload vector, one per core. */
+struct Mix
+{
+    std::string name;
+    Suite suite;
+    bool homogeneous;
+    std::array<int, 4> workload_index;
+};
+
+/**
+ * Generate 4-core mixes per the paper's recipe: half homogeneous (four
+ * copies of one workload), half heterogeneous (four distinct), generated
+ * separately for each suite.
+ */
+std::vector<Mix> makeMixes(const std::vector<WorkloadSpec> &workloads,
+                           int mixes_per_suite, std::uint64_t seed);
+
+} // namespace tlpsim::workloads
+
+#endif // TLPSIM_WORKLOADS_WORKLOAD_HH

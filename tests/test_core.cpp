@@ -1,0 +1,323 @@
+/**
+ * Core model tests: IPC sanity under known dataflow patterns, branch
+ * mispredict stalls, store-to-load forwarding, TLB walk plumbing, and the
+ * off-chip prediction hook points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+#include "core/core.hh"
+#include "mem/dram.hh"
+#include "test_util.hh"
+#include "tlb/page_table.hh"
+#include "tlb/tlb.hh"
+#include "trace/trace.hh"
+#include "workloads/recorder.hh"
+
+using namespace tlpsim;
+using namespace tlpsim::test;
+
+namespace
+{
+
+/** Minimal single-core rig: core + mock L1I/L1D/walk backends. */
+struct CoreRig
+{
+    explicit CoreRig(const Trace &trace, Cycle l1d_latency = 4,
+                     OffChipPredictor *offchip = nullptr,
+                     DramController *dram = nullptr)
+        : stats("t"), l1i(1, MemLevel::L1D), l1d(l1d_latency, MemLevel::L1D),
+          walk(20, MemLevel::L2C), dtlb({"dtlb", 64, 4, 1}, &stats),
+          stlb({"stlb", 1536, 12, 8}, &stats), tlbs(&dtlb, &stlb),
+          reader(trace)
+    {
+        Core::Params cp;
+        cp.name = "cpu0";
+        Core::Ports ports;
+        ports.trace = &reader;
+        ports.l1i = &l1i_always_hit;
+        ports.l1d = &l1d;
+        ports.walk_target = &walk;
+        ports.tlbs = &tlbs;
+        ports.page_table = &pt;
+        ports.dram = dram;
+        ports.offchip = offchip;
+        core = std::make_unique<Core>(cp, ports, &stats);
+    }
+
+    /** Run until @p instrs retire; returns cycles taken. */
+    Cycle
+    runUntil(InstrCount instrs, Cycle max_cycles = 2'000'000)
+    {
+        Cycle c = 0;
+        while (core->retired() < instrs && c < max_cycles) {
+            core->tick(c);
+            l1i.tick(c);
+            l1d.tick(c);
+            walk.tick(c);
+            ++c;
+        }
+        return c;
+    }
+
+    /** L1I that always hits (isolates data-side behaviour). */
+    struct AlwaysHit : MemoryBackend
+    {
+        bool sendRead(const Packet &) override { return true; }
+        bool sendWrite(const Packet &) override { return true; }
+        bool probe(Addr) const override { return true; }
+        void tick(Cycle) override {}
+    } l1i_always_hit;
+
+    StatGroup stats;
+    MockBackend l1i;
+    MockBackend l1d;
+    MockBackend walk;
+    PageTable pt;
+    Tlb dtlb;
+    Tlb stlb;
+    TranslationStack tlbs;
+    TraceReader reader;
+    std::unique_ptr<Core> core;
+};
+
+Trace
+makeTrace(const std::function<void(workloads::TraceRecorder &)> &fn,
+          std::uint64_t n = 10'000)
+{
+    Trace t("t");
+    workloads::TraceRecorder rec(t, {n, Addr{1} << 32});
+    fn(rec);
+    return t;
+}
+
+} // namespace
+
+TEST(Core, IndependentAluRunsAtFetchWidth)
+{
+    Trace t = makeTrace([](auto &rec) {
+        while (!rec.full())
+            rec.alu();
+    });
+    CoreRig rig(t);
+    Cycle c = rig.runUntil(8000);
+    double ipc = 8000.0 / static_cast<double>(c);
+    EXPECT_GT(ipc, 3.5);   // 4-wide
+    EXPECT_LE(ipc, 4.05);
+}
+
+TEST(Core, DependentChainRunsAtOneIpc)
+{
+    Trace t = makeTrace([](auto &rec) {
+        RegId r = rec.alu();
+        while (!rec.full())
+            r = rec.alu(r);   // serial dependence
+    });
+    CoreRig rig(t);
+    Cycle c = rig.runUntil(8000);
+    double ipc = 8000.0 / static_cast<double>(c);
+    EXPECT_GT(ipc, 0.9);
+    EXPECT_LT(ipc, 1.1);
+}
+
+TEST(Core, LoadLatencyBoundsDependentChain)
+{
+    // Serial chain of dependent loads: IPC ≈ 1 / (L1D latency + overhead).
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        RegId r = kNoReg;
+        while (!rec.full())
+            r = rec.load(a, r);
+    });
+    CoreRig rig(t, 8);
+    Cycle c = rig.runUntil(2000);
+    double cpi = static_cast<double>(c) / 2000.0;
+    EXPECT_GT(cpi, 7.0);    // at least the L1D latency per load
+    EXPECT_LT(cpi, 14.0);
+}
+
+TEST(Core, MispredictsThrottleFetch)
+{
+    // Random branches: every mispredict stalls fetch until resolution.
+    Trace biased = makeTrace([](auto &rec) {
+        while (!rec.full()) {
+            rec.branch(true);
+            rec.ops(3);
+        }
+    });
+    Trace random = makeTrace([](auto &rec) {
+        Rng rng(4);
+        while (!rec.full()) {
+            rec.branch(rng.chance(0.5));
+            rec.ops(3);
+        }
+    });
+    CoreRig rig_biased(biased);
+    CoreRig rig_random(random);
+    Cycle cb = rig_biased.runUntil(8000);
+    Cycle cr = rig_random.runUntil(8000);
+    EXPECT_GT(cr, cb * 2);   // mispredicts must cost real time
+}
+
+TEST(Core, StoreToLoadForwardingSkipsCache)
+{
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        while (!rec.full()) {
+            RegId v = rec.alu();
+            rec.store(a, v);
+            rec.load(a);      // forwarded from the pending store
+        }
+    });
+    CoreRig rig(t, 100);      // L1D painfully slow: forwarding must bypass
+    rig.runUntil(3000);
+    EXPECT_GT(rig.stats.get("cpu0.forwarded_loads"), 800u);
+}
+
+TEST(Core, PageWalksGoToWalkTarget)
+{
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        std::uint64_t i = 0;
+        while (!rec.full()) {
+            rec.load(a + (i * 5) * kPageSize);   // new page every load
+            ++i;
+        }
+    });
+    CoreRig rig(t);
+    rig.runUntil(500);
+    EXPECT_GT(rig.stats.get("cpu0.page_walks"), 50u);
+    EXPECT_FALSE(rig.walk.reads.empty());
+    for (const auto &p : rig.walk.reads)
+        EXPECT_EQ(p.type, AccessType::Translation);
+}
+
+TEST(Core, TlbHitsAfterWalk)
+{
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        while (!rec.full())
+            rec.load(a);   // one page forever
+    });
+    CoreRig rig(t);
+    rig.runUntil(5000);
+    EXPECT_LE(rig.stats.get("cpu0.page_walks"), 1u);
+    EXPECT_GT(rig.stats.get("dtlb.hit"), 4000u);
+}
+
+TEST(Core, StoresWriteThroughAtRetire)
+{
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        std::uint64_t i = 0;
+        while (!rec.full()) {
+            rec.store(a + (i % 64) * 64);
+            rec.ops(2);
+            ++i;
+        }
+    });
+    CoreRig rig(t);
+    rig.runUntil(3000);
+    EXPECT_GT(rig.l1d.writes.size(), 500u);
+    for (const auto &w : rig.l1d.writes)
+        EXPECT_EQ(w.type, AccessType::Rfo);
+}
+
+TEST(Core, OffchipImmediateFiresSpecToDram)
+{
+    StatGroup dstats("d");
+    DramController::Params dp;
+    DramController dram(dp, &dstats);
+
+    StatGroup ostats("o");
+    OffChipPredictor::Params op;
+    op.policy = OffchipPolicy::Immediate;
+    op.tau_high = -100;   // fire on every load regardless of training
+    OffChipPredictor offchip(op, &ostats);
+
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        std::uint64_t i = 0;
+        while (!rec.full()) {
+            rec.load(a + (i++ % 512) * 64);
+            rec.ops(3);
+        }
+    });
+    CoreRig rig(t, 4, &offchip, &dram);
+    Cycle c = 0;
+    while (rig.core->retired() < 2000 && c < 200'000) {
+        rig.core->tick(c);
+        rig.l1d.tick(c);
+        rig.walk.tick(c);
+        dram.tick(c);
+        ++c;
+    }
+    EXPECT_GT(rig.stats.get("cpu0.spec_from_core"), 100u);
+    // The 64-entry spec buffer throttles issue while lines are in flight,
+    // so issued < fired-from-core, but a healthy stream must get through.
+    EXPECT_GT(dstats.get("dram.spec_issued"), 50u);
+}
+
+TEST(Core, DelayedFlagTagsPackets)
+{
+    StatGroup ostats("o");
+    OffChipPredictor::Params op;
+    op.policy = OffchipPolicy::AlwaysDelay;
+    op.tau_low = -100;   // flag every load
+    OffChipPredictor offchip(op, &ostats);
+
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        std::uint64_t i = 0;
+        while (!rec.full())
+            rec.load(a + (i++ % 512) * 64);
+    });
+    CoreRig rig(t, 4, &offchip, nullptr);
+    rig.runUntil(500);
+    int flagged = 0;
+    for (const auto &p : rig.l1d.reads)
+        flagged += p.delayed_offchip_flag;
+    EXPECT_GT(flagged, 100);
+    EXPECT_EQ(rig.stats.get("cpu0.spec_from_core"), 0u);
+}
+
+TEST(Core, TrainsOffchipOnDemandReturnOnly)
+{
+    StatGroup ostats("o");
+    OffChipPredictor::Params op;
+    op.policy = OffchipPolicy::Immediate;
+    op.tau_high = 1000;   // never fire; we only check training plumbing
+    OffChipPredictor offchip(op, &ostats);
+
+    Trace t = makeTrace([](auto &rec) {
+        Addr a = Addr{1} << 32;
+        std::uint64_t i = 0;
+        while (!rec.full())
+            rec.load(a + (i++ % 512) * 64);
+    });
+    CoreRig rig(t, 4, &offchip, nullptr);
+    rig.runUntil(1000);
+    EXPECT_GT(ostats.get("flp.train_correct")
+                  + ostats.get("flp.train_wrong"),
+              800u);
+}
+
+TEST(Core, RetiredMonotonicAndExact)
+{
+    Trace t = makeTrace([](auto &rec) {
+        while (!rec.full())
+            rec.alu();
+    }, 100);
+    CoreRig rig(t);
+    InstrCount last = 0;
+    for (Cycle c = 0; c < 1000; ++c) {
+        rig.core->tick(c);
+        rig.l1d.tick(c);
+        EXPECT_GE(rig.core->retired(), last);
+        EXPECT_LE(rig.core->retired() - last, 4u);   // retire width
+        last = rig.core->retired();
+    }
+    EXPECT_GT(last, 900u);
+}

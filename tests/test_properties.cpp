@@ -1,0 +1,264 @@
+/**
+ * Property-style parameterized sweeps over configuration space: cache
+ * geometry invariants, DRAM bandwidth monotonicity, off-chip threshold
+ * monotonicity, perceptron convergence across table sizes, and page
+ * buffer behaviour across geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "offchip/offchip_predictor.hh"
+#include "sim/experiment.hh"
+#include "test_util.hh"
+
+using namespace tlpsim;
+using namespace tlpsim::test;
+
+// --- Cache geometry: hits guaranteed within capacity ------------------------
+
+struct CacheGeom
+{
+    unsigned sets;
+    unsigned ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<CacheGeom>
+{};
+
+TEST_P(CacheGeometryTest, WorkingSetWithinCapacityAlwaysHitsAfterWarm)
+{
+    auto [sets, ways] = GetParam();
+    StatGroup stats("t");
+    MockBackend lower(10);
+    Cache::Params p;
+    p.name = "c";
+    p.sets = sets;
+    p.ways = ways;
+    p.latency = 1;
+    p.mshrs = 16;
+    p.rq_size = 32;
+    Cache c(p, &lower, &stats);
+    MockClient client;
+
+    const unsigned blocks = sets * ways;
+    Cycle t = 0;
+    // Two passes over exactly-capacity working set; second pass all hits.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (unsigned b = 0; b < blocks; ++b) {
+            ASSERT_TRUE(c.sendRead(makeLoad(Addr{b} * 64, &client, t)));
+            t = runFor(t, 16, c, lower);
+        }
+    }
+    EXPECT_EQ(stats.get("c.load_miss"), blocks);
+    EXPECT_EQ(stats.get("c.load_hit"), blocks);
+}
+
+TEST_P(CacheGeometryTest, ProbeAgreesWithContents)
+{
+    auto [sets, ways] = GetParam();
+    StatGroup stats("t");
+    MockBackend lower(5);
+    Cache::Params p;
+    p.name = "c";
+    p.sets = sets;
+    p.ways = ways;
+    p.latency = 1;
+    p.mshrs = 8;
+    Cache c(p, &lower, &stats);
+    MockClient client;
+
+    Cycle t = 0;
+    Rng rng(11);
+    std::vector<Addr> inserted;
+    for (int i = 0; i < 32; ++i) {
+        Addr a = rng.below(1u << 20) * 64;
+        c.sendRead(makeLoad(a, &client, t));
+        t = runFor(t, 12, c, lower);
+        inserted.push_back(a);
+    }
+    // Whatever probe() reports as present must serve a hit.
+    for (Addr a : inserted) {
+        if (!c.probe(a))
+            continue;
+        std::uint64_t before = stats.get("c.load_hit");
+        c.sendRead(makeLoad(a, &client, t));
+        t = runFor(t, 6, c, lower);
+        EXPECT_EQ(stats.get("c.load_hit"), before + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(CacheGeom{1, 1}, CacheGeom{1, 8}, CacheGeom{16, 1},
+                      CacheGeom{16, 4}, CacheGeom{64, 8}, CacheGeom{256, 2},
+                      CacheGeom{1024, 16}),
+    [](const auto &info) {
+        return std::to_string(info.param.sets) + "s"
+            + std::to_string(info.param.ways) + "w";
+    });
+
+// --- DRAM: bandwidth and bank parallelism -----------------------------------
+
+class DramBurstTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DramBurstTest, ThroughputMatchesBurstCycles)
+{
+    unsigned burst = GetParam();
+    StatGroup stats("t");
+    DramController::Params p;
+    p.name = "dram";
+    p.burst_cycles = burst;
+    p.rq_size = 64;
+    DramController dram(p, &stats);
+    MockClient client;
+
+    // Saturate with row-hit traffic; completion rate == 1 per burst.
+    const int n = 32;
+    for (int i = 0; i < n; ++i)
+        ASSERT_TRUE(dram.sendRead(makeLoad(0x100000 + static_cast<Addr>(i) * 64,
+                                           &client, 0)));
+    Cycle t = 0;
+    while (client.returns.size() < n && t < 100'000) {
+        dram.tick(t);
+        ++t;
+    }
+    ASSERT_EQ(client.returns.size(), static_cast<std::size_t>(n));
+    // Total time is dominated by n serialized bursts.
+    EXPECT_GE(t, static_cast<Cycle>(n) * burst);
+    EXPECT_LE(t, static_cast<Cycle>(n) * burst + 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bursts, DramBurstTest,
+                         ::testing::Values(5u, 10u, 19u, 38u, 76u, 152u));
+
+TEST(DramProperty, MoreBandwidthNeverSlower)
+{
+    // End-to-end monotonicity: same workload, increasing bandwidth.
+    auto specs = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    const workloads::WorkloadSpec *mcf = nullptr;
+    for (const auto &w : specs) {
+        if (w.name == "mcf_pchase")
+            mcf = &w;
+    }
+    ASSERT_NE(mcf, nullptr);
+    double last_ipc = 0.0;
+    for (double gbps : {1.6, 6.4, 25.6}) {
+        SystemConfig cfg = SystemConfig::cascadeLake(1);
+        cfg.warmup_instrs = 10'000;
+        cfg.sim_instrs = 30'000;
+        cfg.dram_gbps_per_core = gbps;
+        SimResult r = experiment::runSingleCore(*mcf, cfg);
+        EXPECT_GE(r.ipc[0], last_ipc * 0.98) << gbps;   // 2 % tolerance
+        last_ipc = r.ipc[0];
+    }
+}
+
+// --- Off-chip predictor: threshold monotonicity ------------------------------
+
+class TauTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TauTest, HigherThresholdNeverPredictsMore)
+{
+    int tau = GetParam();
+    auto count_predictions = [](int tau_high) {
+        StatGroup stats("t");
+        OffChipPredictor::Params p;
+        p.policy = OffchipPolicy::Immediate;
+        p.tau_high = tau_high;
+        OffChipPredictor pred(p, &stats);
+        Rng rng(3);
+        int fired = 0;
+        for (int i = 0; i < 3000; ++i) {
+            Addr ip = 0x400000 + (rng.below(8)) * 4;
+            Addr va = (Addr{1} << 32) + rng.below(1 << 16) * 64;
+            auto d = pred.predictLoad(ip, va);
+            fired += d.spec_now;
+            // 70 % of loads from half the PCs go off-chip.
+            bool offchip = (ip & 4) != 0 && rng.chance(0.7);
+            pred.train(d.meta, offchip);
+        }
+        return fired;
+    };
+    EXPECT_GE(count_predictions(tau), count_predictions(tau + 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TauTest,
+                         ::testing::Values(0, 4, 8, 16, 24, 32));
+
+// --- Perceptron: convergence across table sizes ------------------------------
+
+class PerceptronSizeTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PerceptronSizeTest, SeparatesTwoClasses)
+{
+    unsigned entries = GetParam();
+    HashedPerceptron p("p", {{"f0", entries}, {"f1", entries}}, 16);
+    std::uint16_t pos[2] = {p.indexFor(0, 1111), p.indexFor(1, 2222)};
+    std::uint16_t neg[2] = {p.indexFor(0, 3333), p.indexFor(1, 4444)};
+    for (int i = 0; i < 100; ++i) {
+        p.train(pos, 2, p.predict(pos, 2), true, 0);
+        p.train(neg, 2, p.predict(neg, 2), false, 0);
+    }
+    EXPECT_GT(p.predict(pos, 2), 0);
+    EXPECT_LT(p.predict(neg, 2), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PerceptronSizeTest,
+                         ::testing::Values(16u, 64u, 256u, 1024u, 4096u));
+
+// --- Page buffer geometries ----------------------------------------------------
+
+struct PbGeom
+{
+    unsigned entries;
+    unsigned ways;
+};
+
+class PageBufferGeomTest : public ::testing::TestWithParam<PbGeom>
+{};
+
+TEST_P(PageBufferGeomTest, TracksLinesWithinResidentPages)
+{
+    auto [entries, ways] = GetParam();
+    PageBuffer::Params p;
+    p.entries = entries;
+    p.ways = ways;
+    PageBuffer pb(p);
+    // A single page's lines: first access exactly once per line.
+    int firsts = 0;
+    for (unsigned rep = 0; rep < 3; ++rep) {
+        for (unsigned l = 0; l < kLinesPerPage; ++l)
+            firsts += pb.firstAccess(0x7000000 + static_cast<Addr>(l) * 64);
+    }
+    EXPECT_EQ(firsts, static_cast<int>(kLinesPerPage));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, PageBufferGeomTest,
+                         ::testing::Values(PbGeom{4, 2}, PbGeom{16, 4},
+                                           PbGeom{64, 4}, PbGeom{128, 8}),
+                         [](const auto &info) {
+                             return std::to_string(info.param.entries) + "e"
+                                 + std::to_string(info.param.ways) + "w";
+                         });
+
+// --- Workload scale invariants ---------------------------------------------
+
+class TraceLengthTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(TraceLengthTest, RecorderHonorsExactLength)
+{
+    auto specs = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    Trace t = workloads::buildTrace(specs[1], GetParam(), 3);
+    EXPECT_EQ(t.size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, TraceLengthTest,
+                         ::testing::Values(100ull, 1'000ull, 10'000ull,
+                                           50'000ull));
