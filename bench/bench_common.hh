@@ -11,6 +11,12 @@
  * Simulation results are cached per (workload|mix, config) within the
  * process so benches that print several figures from the same runs (e.g.
  * Figs. 10/11/12) simulate each design point once.
+ *
+ * Simulations are sharded across TLPSIM_JOBS worker threads (default:
+ * all hardware threads) by the experiment Runner. Benches submit their
+ * full design-point grid up front (prewarm*) and then render tables with
+ * run()/runMixCached(), which block on the corresponding jobs; tables are
+ * bit-identical regardless of the worker count.
  */
 
 #ifndef TLPSIM_BENCH_BENCH_COMMON_HH
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/runner.hh"
 
 namespace tlpsim::bench
 {
@@ -79,47 +86,56 @@ benchConfigMc(L1Prefetcher pf = L1Prefetcher::Ipcp,
     return cfg;
 }
 
-/** Config fingerprint for the run cache. */
-inline std::string
-cfgKey(const SystemConfig &cfg)
-{
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%s|%s|%u|%.2f|%u|%u",
-                  cfg.scheme.name.c_str(), toString(cfg.l1_prefetcher),
-                  cfg.num_cores, cfg.dram_gbps_per_core,
-                  cfg.l1_pf_table_scale, cfg.scheme.offchip_table_scale);
-    return buf;
-}
-
-/** Run (or fetch) a cached single-core simulation. */
+/** Run (or fetch) a single-core simulation through the shared runner. */
 inline const SimResult &
 run(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 {
-    static std::map<std::string, SimResult> cache;
-    std::string key = w.name + "|" + cfgKey(cfg);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        std::fprintf(stderr, "  [sim] %-22s %s\n", w.name.c_str(),
-                     cfgKey(cfg).c_str());
-        it = cache.emplace(key, experiment::runSingleCore(w, cfg)).first;
-    }
-    return it->second;
+    return experiment::defaultRunner().single(w, cfg);
 }
 
-/** Run (or fetch) a cached 4-core mix simulation. */
+/** Run (or fetch) a 4-core mix simulation through the shared runner. */
 inline const SimResult &
 runMixCached(const std::vector<workloads::WorkloadSpec> &all,
              const workloads::Mix &mix, const SystemConfig &cfg)
 {
-    static std::map<std::string, SimResult> cache;
-    std::string key = mix.name + "|" + cfgKey(cfg);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        std::fprintf(stderr, "  [sim] %-22s %s\n", mix.name.c_str(),
-                     cfgKey(cfg).c_str());
-        it = cache.emplace(key, experiment::runMix(all, mix, cfg)).first;
+    return experiment::defaultRunner().mix(all, mix, cfg);
+}
+
+/** Queue every (workload × config) design point without waiting. */
+inline void
+prewarm(const std::vector<workloads::WorkloadSpec> &ws,
+        const std::vector<SystemConfig> &cfgs)
+{
+    for (const auto &cfg : cfgs) {
+        for (const auto &w : ws)
+            experiment::defaultRunner().submitSingle(w, cfg);
     }
-    return it->second;
+}
+
+/** Queue every (mix × config) design point without waiting. */
+inline void
+prewarmMixes(const std::vector<workloads::WorkloadSpec> &all,
+             const std::vector<workloads::Mix> &mixes,
+             const std::vector<SystemConfig> &cfgs)
+{
+    for (const auto &cfg : cfgs) {
+        for (const auto &mix : mixes)
+            experiment::defaultRunner().submitMix(all, mix, cfg);
+    }
+}
+
+/** Queue the isolated single-core runs the weighted-speedup metric needs
+ *  for each slot of each mix. */
+inline void
+prewarmMixSingles(const std::vector<workloads::WorkloadSpec> &all,
+                  const std::vector<workloads::Mix> &mixes,
+                  const SystemConfig &sc_cfg)
+{
+    for (const auto &mix : mixes) {
+        for (int idx : mix.workload_index)
+            experiment::defaultRunner().submitSingle(
+                all[static_cast<std::size_t>(idx)], sc_cfg);
+    }
 }
 
 /** Per-suite + overall geometric-mean summary of per-workload percents. */
@@ -157,6 +173,8 @@ printBanner(const char *what, const char *paper_ref)
                 "(TLPSIM_WARMUP/TLPSIM_INSTRS to change)\n",
                 static_cast<unsigned long long>(benchWarmup()),
                 static_cast<unsigned long long>(benchInstrs()));
+    std::printf("jobs        : %u (TLPSIM_JOBS to change)\n",
+                experiment::defaultRunner().jobs());
     std::printf("================================================="
                 "=============\n");
 }

@@ -17,6 +17,7 @@ main()
 
     auto ws = benchWorkloads();
     SystemConfig cfg = benchConfig();
+    prewarm(ws, {cfg});
 
     TablePrinter tp({"workload", "suite", "L1D MPKI", "L2C MPKI",
                      "LLC MPKI"});

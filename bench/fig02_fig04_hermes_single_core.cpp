@@ -21,6 +21,7 @@ main()
     SystemConfig base_cfg = benchConfig();
     SystemConfig hermes_cfg = benchConfig(L1Prefetcher::Ipcp,
                                           SchemeConfig::hermes());
+    prewarm(ws, {base_cfg, hermes_cfg});
 
     TablePrinter tp2({"workload", "suite", "dram_base", "dram_hermes",
                       "increase"});

@@ -20,6 +20,7 @@ main()
     SystemConfig base_cfg = benchConfigMc();
     SystemConfig hermes_cfg = benchConfigMc(L1Prefetcher::Ipcp,
                                             SchemeConfig::hermes());
+    prewarmMixes(ws, mixes, {base_cfg, hermes_cfg});
 
     TablePrinter tp({"mix", "suite", "dram_base", "dram_hermes",
                      "increase"}, 18);

@@ -57,6 +57,8 @@ main()
                 "IPCP and Berti");
 
     auto ws = benchWorkloads();
+    prewarm(ws, {benchConfig(L1Prefetcher::Ipcp),
+                 benchConfig(L1Prefetcher::Berti)});
     printFigure("Figure 5a: INACCURATE IPCP prefetches (PPKI by level)",
                 ws, L1Prefetcher::Ipcp, false);
     printFigure("Figure 5b: INACCURATE Berti prefetches (PPKI by level)",

@@ -125,6 +125,13 @@ main()
                 "(a)=IPCP, (b)=Berti");
 
     auto ws = benchWorkloads();
+    // Queue both prefetchers' full grids before rendering anything.
+    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+        std::vector<SystemConfig> grid{benchConfig(pf)};
+        for (const auto &s : SchemeConfig::paperSchemes())
+            grid.push_back(benchConfig(pf, s));
+        prewarm(ws, grid);
+    }
     evaluatePrefetcher(ws, L1Prefetcher::Ipcp, "a (IPCP)");
     evaluatePrefetcher(ws, L1Prefetcher::Berti, "b (Berti)");
 

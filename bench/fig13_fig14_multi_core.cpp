@@ -90,6 +90,14 @@ main()
 
     auto ws = benchWorkloads();
     auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
+    // Queue both prefetchers' full grids before rendering anything.
+    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+        std::vector<SystemConfig> grid{benchConfigMc(pf)};
+        for (const auto &s : SchemeConfig::paperSchemes())
+            grid.push_back(benchConfigMc(pf, s));
+        prewarmMixes(ws, mixes, grid);
+        prewarmMixSingles(ws, mixes, benchConfig(pf));
+    }
     evaluatePrefetcher(ws, mixes, L1Prefetcher::Ipcp, "a (IPCP)");
     evaluatePrefetcher(ws, mixes, L1Prefetcher::Berti, "b (Berti)");
 

@@ -22,6 +22,12 @@ main()
     SystemConfig mc_base = benchConfigMc();
     SystemConfig sc_base = benchConfig();
 
+    std::vector<SystemConfig> grid{mc_base};
+    for (const auto &s : schemes)
+        grid.push_back(benchConfigMc(L1Prefetcher::Ipcp, s));
+    prewarmMixes(ws, mixes, grid);
+    prewarmMixSingles(ws, mixes, sc_base);
+
     TablePrinter tp({"scheme", "weighted speedup", "dram delta"}, 20);
     tp.printHeader("Figure 15: geomean weighted speedup by component");
 

@@ -24,6 +24,20 @@ main()
     auto mixes = workloads::makeMixes(ws, mix_count, 1234);
     auto schemes = SchemeConfig::paperSchemes();
 
+    std::vector<SystemConfig> grid;
+    for (double gbps : {1.6, 3.2, 6.4, 12.8, 25.6}) {
+        SystemConfig mc_base = benchConfigMc();
+        mc_base.dram_gbps_per_core = gbps;
+        grid.push_back(mc_base);
+        for (const auto &s : schemes) {
+            SystemConfig mc_scheme = benchConfigMc(L1Prefetcher::Ipcp, s);
+            mc_scheme.dram_gbps_per_core = gbps;
+            grid.push_back(mc_scheme);
+        }
+    }
+    prewarmMixes(ws, mixes, grid);
+    prewarmMixSingles(ws, mixes, benchConfig());
+
     TablePrinter tp({"GB/s/core", "ppf", "hermes", "hermes+ppf", "tlp"},
                     16);
     tp.printHeader("Figure 16a: geomean weighted speedup (%) vs bandwidth");

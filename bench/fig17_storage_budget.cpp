@@ -38,6 +38,14 @@ main()
     auto ws = benchWorkloads();
 
     for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+        SystemConfig big = benchConfig(pf);
+        big.l1_pf_table_scale = 2;
+        prewarm(ws, {benchConfig(pf), big,
+                     benchConfig(pf, SchemeConfig::hermesPlus7kb()),
+                     benchConfig(pf, SchemeConfig::tlp())});
+    }
+
+    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
         SystemConfig base_cfg = benchConfig(pf);
 
         SystemConfig pf_big = benchConfig(pf);

@@ -32,8 +32,8 @@ main()
                       "max deg"}, 15);
     tp5.printHeader("Table V: input graphs (synthetic, at bench scale)");
     for (GraphKind gk : p.graphs) {
-        const Graph &g = GraphCache::get(gk, p.graph_scale, p.graph_degree,
-                                         42);
+        auto gp = GraphCache::get(gk, p.graph_scale, p.graph_degree, 42);
+        const Graph &g = *gp;
         tp5.printRow({toString(gk),
                       TablePrinter::fmt(g.numVertices() / 1e6, 2),
                       TablePrinter::fmt(

@@ -10,21 +10,24 @@ HashedPerceptron::HashedPerceptron(std::string name,
                                    int training_threshold)
     : name_(std::move(name)), training_threshold_(training_threshold)
 {
+    assert(tables.size() <= kMaxTables);
+    std::uint32_t offset = 0;
     for (auto &spec : tables) {
         assert(isPowerOfTwo(spec.entries));
         table_names_.push_back(spec.name);
-        tables_.emplace_back(spec.entries);
-        index_bits_.push_back(log2i(spec.entries));
+        meta_.push_back({offset, spec.entries, log2i(spec.entries)});
+        offset += spec.entries;
     }
+    weights_.resize(offset);
 }
 
 int
 HashedPerceptron::predict(const std::uint16_t *index, unsigned n) const
 {
-    assert(n == tables_.size());
+    assert(n == meta_.size());
     int sum = 0;
     for (unsigned t = 0; t < n; ++t)
-        sum += tables_[t][index[t]].value();
+        sum += weights_[meta_[t].offset + index[t]].value();
     return sum;
 }
 
@@ -32,7 +35,7 @@ void
 HashedPerceptron::train(const std::uint16_t *index, unsigned n, int sum,
                         bool outcome_positive, int decision_threshold)
 {
-    assert(n == tables_.size());
+    assert(n == meta_.size());
     bool predicted_positive = sum >= decision_threshold;
     bool mispredicted = predicted_positive != outcome_positive;
     if (!mispredicted && std::abs(sum - decision_threshold)
@@ -40,33 +43,31 @@ HashedPerceptron::train(const std::uint16_t *index, unsigned n, int sum,
         return;   // confident and correct: leave the weights alone
     }
     for (unsigned t = 0; t < n; ++t)
-        tables_[t][index[t]].train(outcome_positive);
+        weights_[meta_[t].offset + index[t]].train(outcome_positive);
 }
 
 void
 HashedPerceptron::nudge(const std::uint16_t *index, unsigned n, bool positive)
 {
-    assert(n == tables_.size());
+    assert(n == meta_.size());
     for (unsigned t = 0; t < n; ++t)
-        tables_[t][index[t]].train(positive);
+        weights_[meta_[t].offset + index[t]].train(positive);
 }
 
 void
 HashedPerceptron::reset()
 {
-    for (auto &table : tables_) {
-        for (auto &w : table)
-            w.reset();
-    }
+    for (auto &w : weights_)
+        w.reset();
 }
 
 StorageBudget
 HashedPerceptron::storage() const
 {
     StorageBudget b;
-    for (std::size_t t = 0; t < tables_.size(); ++t) {
+    for (std::size_t t = 0; t < meta_.size(); ++t) {
         b.add(name_ + "." + table_names_[t],
-              static_cast<std::uint64_t>(tables_[t].size())
+              static_cast<std::uint64_t>(meta_[t].entries)
                   * PerceptronWeight{}.storageBits());
     }
     return b;

@@ -28,12 +28,13 @@ namespace tlpsim
 /** Fixed-point weight with 5-bit storage, matching the paper's budget. */
 using PerceptronWeight = SatCounter<5>;
 
-/** A prediction outcome with everything needed to train later. */
-struct PerceptronOutput
-{
-    int sum = 0;
-    std::vector<std::uint16_t> index;   ///< per-table entry used
-};
+/**
+ * Most feature tables any perceptron in the system uses (bpred's 16).
+ * Callers snapshot per-prediction indices in fixed arrays sized by this
+ * (or by kMaxFeatures for the packet-borne PredictionMeta) so the
+ * per-load predict/train path never touches the heap.
+ */
+constexpr unsigned kMaxTables = 16;
 
 class HashedPerceptron
 {
@@ -47,14 +48,15 @@ class HashedPerceptron
     HashedPerceptron(std::string name, std::vector<TableSpec> tables,
                      int training_threshold);
 
-    unsigned numTables() const { return static_cast<unsigned>(tables_.size()); }
+    unsigned numTables() const { return static_cast<unsigned>(meta_.size()); }
 
     /** Hash a raw feature value into table @p t's index space. */
     std::uint16_t
     indexFor(unsigned t, std::uint64_t value) const
     {
+        const TableMeta &m = meta_[t];
         return static_cast<std::uint16_t>(
-            foldedXor(value, index_bits_[t]) & (tables_[t].size() - 1));
+            foldedXor(value, m.index_bits) & (m.entries - 1));
     }
 
     /** Sum weights for pre-hashed indices (one per table). */
@@ -73,7 +75,7 @@ class HashedPerceptron
 
     int weightAt(unsigned t, std::uint16_t idx) const
     {
-        return tables_[t][idx].value();
+        return weights_[meta_[t].offset + idx].value();
     }
 
     void reset();
@@ -83,10 +85,17 @@ class HashedPerceptron
     const std::string &name() const { return name_; }
 
   private:
+    struct TableMeta
+    {
+        std::uint32_t offset;    ///< table start within weights_
+        std::uint32_t entries;   ///< power of two
+        unsigned index_bits;
+    };
+
     std::string name_;
     std::vector<std::string> table_names_;
-    std::vector<std::vector<PerceptronWeight>> tables_;
-    std::vector<unsigned> index_bits_;
+    std::vector<TableMeta> meta_;
+    std::vector<PerceptronWeight> weights_;   ///< all tables, back to back
     int training_threshold_;
 };
 

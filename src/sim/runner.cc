@@ -1,0 +1,202 @@
+#include "sim/runner.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlpsim::experiment
+{
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *v = std::getenv("TLPSIM_JOBS")) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(v, &end, 10);
+        if (end != v && parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+std::string
+configKey(const SystemConfig &cfg)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s|%s|%u|%.2f|%u|%u|%llu|%llu",
+                  cfg.scheme.name.c_str(), toString(cfg.l1_prefetcher),
+                  cfg.num_cores, cfg.dram_gbps_per_core,
+                  cfg.l1_pf_table_scale, cfg.scheme.offchip_table_scale,
+                  static_cast<unsigned long long>(cfg.warmup_instrs),
+                  static_cast<unsigned long long>(cfg.sim_instrs));
+    return buf;
+}
+
+Runner::Runner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs)
+{
+    // With one job the caller thread does all the work in get(); spawning
+    // a single worker would only add wakeup latency.
+    if (jobs_ >= 2) {
+        threads_.reserve(jobs_);
+        for (unsigned i = 0; i < jobs_; ++i)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+Runner::~Runner()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+Runner::submit(const std::string &key, JobFn fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto [it, inserted] = map_.try_emplace(key);
+        if (!inserted)
+            return false;
+        it->second.fn = std::move(fn);
+        queue_.push_back(key);
+    }
+    work_cv_.notify_one();
+    return true;
+}
+
+const SimResult &
+Runner::get(const std::string &key)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    auto it = map_.find(key);
+    assert(it != map_.end() && "get() for a key that was never submitted");
+    Job &job = it->second;
+    if (job.state == State::Pending) {
+        // Work stealing: run the job on the calling thread. The stale
+        // queue entry is skipped by workers (state != Pending).
+        job.state = State::Running;
+        execute(job, lock);
+    } else {
+        done_cv_.wait(lock, [&] { return job.state == State::Done; });
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+    return job.result;
+}
+
+void
+Runner::execute(Job &job, std::unique_lock<std::mutex> &lock)
+{
+    JobFn fn = std::move(job.fn);
+    job.fn = nullptr;
+    lock.unlock();
+    SimResult result;
+    std::exception_ptr error;
+    try {
+        result = fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    lock.lock();
+    job.result = std::move(result);
+    job.error = error;
+    job.state = State::Done;
+    ++completed_;
+    done_cv_.notify_all();
+}
+
+void
+Runner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    while (true) {
+        work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        std::string key = std::move(queue_.front());
+        queue_.pop_front();
+        Job &job = map_.at(key);
+        if (job.state != State::Pending)
+            continue;   // claimed by a stealing get()
+        job.state = State::Running;
+        execute(job, lock);
+    }
+}
+
+namespace
+{
+
+void
+logSim(const char *what, const std::string &name, const SystemConfig &cfg)
+{
+    std::fprintf(stderr, "  [sim %s] %-22s %s\n", what, name.c_str(),
+                 configKey(cfg).c_str());
+}
+
+} // namespace
+
+void
+Runner::submitSingle(const workloads::WorkloadSpec &w,
+                     const SystemConfig &cfg)
+{
+    std::string key = "1c|" + w.name + "|" + configKey(cfg);
+    submit(key, [w, cfg] {
+        logSim("1c", w.name, cfg);
+        return runSingleCore(w, cfg);
+    });
+}
+
+const SimResult &
+Runner::single(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
+{
+    submitSingle(w, cfg);
+    return get("1c|" + w.name + "|" + configKey(cfg));
+}
+
+void
+Runner::submitMix(const std::vector<workloads::WorkloadSpec> &all,
+                  const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    std::string key = "4c|" + mix.name + "|" + configKey(cfg);
+    submit(key, [all, mix, cfg] {
+        logSim("4c", mix.name, cfg);
+        return runMix(all, mix, cfg);
+    });
+}
+
+const SimResult &
+Runner::mix(const std::vector<workloads::WorkloadSpec> &all,
+            const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    submitMix(all, mix, cfg);
+    return get("4c|" + mix.name + "|" + configKey(cfg));
+}
+
+std::size_t
+Runner::submitted() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return map_.size();
+}
+
+std::size_t
+Runner::completed() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return completed_;
+}
+
+Runner &
+defaultRunner()
+{
+    static Runner runner;
+    return runner;
+}
+
+} // namespace tlpsim::experiment

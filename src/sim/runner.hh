@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * A figure/table bench is a grid of independent design points
+ * (workload × scheme × system knobs); each point is one self-contained
+ * simulation. The Runner shards those simulations across a job-based
+ * thread pool:
+ *
+ *   - Jobs are keyed by a config fingerprint; submitting the same design
+ *     point twice is a no-op, and results are memoized for the lifetime of
+ *     the Runner (this replaces the per-bench static result caches).
+ *   - Traces are recorded once through the mutex-guarded cache in
+ *     sim/experiment.cc and shared read-only across workers.
+ *   - get() blocks until the job completes; if the job is still queued,
+ *     the calling thread claims and runs it inline (work stealing), so a
+ *     Runner with TLPSIM_JOBS=1 spawns no threads and degenerates to the
+ *     old sequential behaviour.
+ *   - Results are keyed, not ordered by completion: benches render their
+ *     tables by iterating their own loops, so output is bit-identical
+ *     regardless of worker count.
+ *
+ * Worker count comes from TLPSIM_JOBS (default: hardware_concurrency).
+ */
+
+#ifndef TLPSIM_SIM_RUNNER_HH
+#define TLPSIM_SIM_RUNNER_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace tlpsim::experiment
+{
+
+/** TLPSIM_JOBS (worker threads), default hardware_concurrency, min 1. */
+unsigned jobsFromEnv();
+
+/** Fingerprint of every SystemConfig field the simulation depends on. */
+std::string configKey(const SystemConfig &cfg);
+
+class Runner
+{
+  public:
+    using JobFn = std::function<SimResult()>;
+
+    explicit Runner(unsigned jobs = jobsFromEnv());
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /** Queue a keyed job. Returns false (and does nothing) if the key is
+     *  already submitted, running, or done. */
+    bool submit(const std::string &key, JobFn fn);
+
+    /** Block until the job for @p key is done; runs it inline if it is
+     *  still queued. The reference stays valid for the Runner's life. */
+    const SimResult &get(const std::string &key);
+
+    /** submit() + get(). */
+    const SimResult &
+    run(const std::string &key, JobFn fn)
+    {
+        submit(key, std::move(fn));
+        return get(key);
+    }
+
+    // ----- design-point helpers used by the bench binaries --------------
+
+    /** Queue a single-core simulation of @p w under @p cfg. */
+    void submitSingle(const workloads::WorkloadSpec &w,
+                      const SystemConfig &cfg);
+
+    /** Result of submitSingle (submits on demand). */
+    const SimResult &single(const workloads::WorkloadSpec &w,
+                            const SystemConfig &cfg);
+
+    /** Queue a 4-core mix simulation. */
+    void submitMix(const std::vector<workloads::WorkloadSpec> &all,
+                   const workloads::Mix &mix, const SystemConfig &cfg);
+
+    /** Result of submitMix (submits on demand). */
+    const SimResult &mix(const std::vector<workloads::WorkloadSpec> &all,
+                         const workloads::Mix &mix, const SystemConfig &cfg);
+
+    unsigned jobs() const { return jobs_; }
+    std::size_t submitted() const;
+    std::size_t completed() const;
+
+  private:
+    enum class State
+    {
+        Pending,
+        Running,
+        Done,
+    };
+
+    struct Job
+    {
+        State state = State::Pending;
+        JobFn fn;
+        SimResult result;
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+    /** Run @p job (must be Running); takes and restores @p lock. */
+    void execute(Job &job, std::unique_lock<std::mutex> &lock);
+
+    unsigned jobs_;
+    mutable std::mutex m_;
+    std::condition_variable work_cv_;   ///< workers: queue non-empty / stop
+    std::condition_variable done_cv_;   ///< get(): a job completed
+    std::map<std::string, Job> map_;    ///< node-stable result storage
+    std::deque<std::string> queue_;     ///< submission order
+    bool stop_ = false;
+    std::size_t completed_ = 0;
+    std::vector<std::thread> threads_;
+};
+
+/** Process-wide runner shared by the bench binaries. */
+Runner &defaultRunner();
+
+} // namespace tlpsim::experiment
+
+#endif // TLPSIM_SIM_RUNNER_HH

@@ -17,11 +17,11 @@ SimResult::sumOverCores(const std::string &suffix) const
 double
 SimResult::mpki(const std::string &cache) const
 {
-    std::uint64_t misses = sumOverCores(cache + ".load_miss")
-        + sumOverCores(cache + ".rfo_miss");
-    if (cache == "llc") {
-        misses = stat("llc.load_miss") + stat("llc.rfo_miss");
-    }
+    // The LLC is shared (one stat group); per-core caches sum "cpuN." stats.
+    std::uint64_t misses = cache == "llc"
+        ? stat("llc.load_miss") + stat("llc.rfo_miss")
+        : sumOverCores(cache + ".load_miss")
+            + sumOverCores(cache + ".rfo_miss");
     double kilo_instr
         = static_cast<double>(sim_instrs) * num_cores / 1000.0;
     return kilo_instr == 0.0 ? 0.0 : static_cast<double>(misses) / kilo_instr;
@@ -143,17 +143,22 @@ Simulator::build()
             p1.spec_dram = dram_.get();
         }
         p1.spec_latency = cfg_.core.spec_latency;
-        p1.on_spec_issued = [this, c](const Packet &pkt) {
-            Counter *ctr;
+        // Register the oracle counters once; the probe fires per
+        // speculative issue and must not do string lookups.
+        Counter *in_l1d = stats_.counter("oracle.spec_block_in_l1d");
+        Counter *in_l2c = stats_.counter("oracle.spec_block_in_l2c");
+        Counter *in_llc = stats_.counter("oracle.spec_block_in_llc");
+        Counter *in_dram = stats_.counter("oracle.spec_block_in_dram");
+        p1.on_spec_issued = [this, c, in_l1d, in_l2c, in_llc,
+                             in_dram](const Packet &pkt) {
             if (l1d_[c]->probe(pkt.paddr))
-                ctr = stats_.counter("oracle.spec_block_in_l1d");
+                in_l1d->add();
             else if (l2_[c]->probe(pkt.paddr))
-                ctr = stats_.counter("oracle.spec_block_in_l2c");
+                in_l2c->add();
             else if (llc_->probe(pkt.paddr))
-                ctr = stats_.counter("oracle.spec_block_in_llc");
+                in_llc->add();
             else
-                ctr = stats_.counter("oracle.spec_block_in_dram");
-            ctr->add();
+                in_dram->add();
         };
         l1d_.push_back(std::make_unique<Cache>(p1, l2_.back().get(),
                                                &stats_));

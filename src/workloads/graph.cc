@@ -1,7 +1,9 @@
 #include "workloads/graph.hh"
 
 #include <algorithm>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <tuple>
 
 #include "common/rng.hh"
@@ -230,32 +232,86 @@ namespace
 {
 
 using CacheKey = std::tuple<int, unsigned, unsigned, std::uint64_t>;
-std::map<CacheKey, std::unique_ptr<Graph>> g_graph_cache;
+
+/** One cache entry; graph is written once under m and shared read-only.
+ *  If construction throws, error is propagated to every waiter and the
+ *  slot is dropped from the cache so a later request can retry. */
+struct GraphSlot
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    std::shared_ptr<const Graph> graph;
+    std::exception_ptr error;
+};
+
+std::mutex g_graph_mutex;
+std::map<CacheKey, std::shared_ptr<GraphSlot>> g_graph_cache;
+
+/** Resident cap: enough for every graph of a set to stay warm while
+ *  parallel trace builds are in flight. Evicted graphs stay alive for as
+ *  long as any worker still holds its shared_ptr. */
+constexpr std::size_t kMaxResidentGraphs = 4;
 
 } // namespace
 
-const Graph &
+std::shared_ptr<const Graph>
 GraphCache::get(GraphKind kind, unsigned scale, unsigned avg_degree,
                 std::uint64_t seed)
 {
     CacheKey key{static_cast<int>(kind), scale, avg_degree, seed};
-    auto it = g_graph_cache.find(key);
-    if (it == g_graph_cache.end()) {
-        // Keep at most two graphs resident: GAP benches iterate kernels
-        // grouped by graph, so this caps memory without thrashing.
-        if (g_graph_cache.size() >= 2)
-            g_graph_cache.erase(g_graph_cache.begin());
-        it = g_graph_cache
-                 .emplace(key, std::make_unique<Graph>(
-                                   makeGraph(kind, scale, avg_degree, seed)))
-                 .first;
+    std::shared_ptr<GraphSlot> slot;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(g_graph_mutex);
+        auto it = g_graph_cache.find(key);
+        if (it == g_graph_cache.end()) {
+            if (g_graph_cache.size() >= kMaxResidentGraphs)
+                g_graph_cache.erase(g_graph_cache.begin());
+            it = g_graph_cache.emplace(key, std::make_shared<GraphSlot>())
+                     .first;
+            builder = true;
+        }
+        slot = it->second;
     }
-    return *it->second;
+    if (builder) {
+        std::shared_ptr<const Graph> built;
+        std::exception_ptr error;
+        try {
+            built = std::make_shared<const Graph>(
+                makeGraph(kind, scale, avg_degree, seed));
+        } catch (...) {
+            error = std::current_exception();
+        }
+        if (error) {
+            // Evictions may have replaced the key; only drop our slot.
+            std::lock_guard<std::mutex> cache_lock(g_graph_mutex);
+            auto it = g_graph_cache.find(key);
+            if (it != g_graph_cache.end() && it->second == slot)
+                g_graph_cache.erase(it);
+        }
+        {
+            std::lock_guard<std::mutex> lock(slot->m);
+            slot->graph = built;
+            slot->error = error;
+            slot->ready = true;
+        }
+        slot->cv.notify_all();
+        if (error)
+            std::rethrow_exception(error);
+        return built;
+    }
+    std::unique_lock<std::mutex> lock(slot->m);
+    slot->cv.wait(lock, [&] { return slot->ready; });
+    if (slot->error)
+        std::rethrow_exception(slot->error);
+    return slot->graph;
 }
 
 void
 GraphCache::clear()
 {
+    std::lock_guard<std::mutex> lock(g_graph_mutex);
     g_graph_cache.clear();
 }
 

@@ -75,12 +75,17 @@ Graph makeGraph(GraphKind kind, unsigned scale, unsigned avg_degree,
 /**
  * Process-wide cache of built graphs so the 6 GAP kernels sharing one
  * input graph pay its construction cost once per bench binary.
+ *
+ * Thread-safe: concurrent get() calls for the same key build the graph
+ * once and share it read-only. Callers receive a shared_ptr so cache
+ * eviction can never invalidate a graph still in use by another worker.
  */
 class GraphCache
 {
   public:
-    static const Graph &get(GraphKind kind, unsigned scale,
-                            unsigned avg_degree, std::uint64_t seed);
+    static std::shared_ptr<const Graph> get(GraphKind kind, unsigned scale,
+                                            unsigned avg_degree,
+                                            std::uint64_t seed);
     static void clear();
 };
 

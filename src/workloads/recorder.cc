@@ -6,12 +6,30 @@ namespace tlpsim::workloads
 namespace
 {
 
-/** PC of the caller's call site (stable per static call site). */
+/**
+ * ASLR-stable anchor inside this binary's text segment. PIE relocates
+ * the whole segment by one slide, so call-site addresses normalized
+ * against the anchor are identical from run to run — without this,
+ * recorded PCs (and every PC-hashed predictor feature downstream) would
+ * differ between processes and figures would not reproduce exactly.
+ */
+Addr
+anchorPc()
+{
+    static const Addr anchor = reinterpret_cast<Addr>(&anchorPc);
+    return anchor;
+}
+
+/** Synthetic text base recorded PCs are rebased onto. */
+constexpr Addr kTraceCodeBase = 0x400000;
+
+/** PC of the caller's call site (stable per static call site and run). */
 inline Addr
 callerPc()
 {
-    return reinterpret_cast<Addr>(
+    Addr pc = reinterpret_cast<Addr>(
         __builtin_extract_return_addr(__builtin_return_address(0)));
+    return kTraceCodeBase + (pc - anchorPc());
 }
 
 } // namespace

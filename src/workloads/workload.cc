@@ -71,9 +71,9 @@ singleCoreWorkloads(SetSize s)
             w.name = std::string(toString(k)) + "." + toString(gk);
             w.suite = Suite::Gap;
             w.record = [k, gk, p](TraceRecorder &rec, std::uint64_t seed) {
-                const Graph &g = GraphCache::get(gk, p.graph_scale,
-                                                 p.graph_degree, 42);
-                recordGapKernel(k, g, rec, seed);
+                auto g = GraphCache::get(gk, p.graph_scale,
+                                         p.graph_degree, 42);
+                recordGapKernel(k, *g, rec, seed);
             };
             out.push_back(std::move(w));
         }

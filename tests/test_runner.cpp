@@ -1,0 +1,162 @@
+/**
+ * Tests for the parallel experiment engine: job memoization, work
+ * stealing, env parsing, and — most importantly — that a workload grid
+ * run with 1 worker and with N workers produces bit-identical
+ * SimResult::stats maps (guards the runner and the shared trace/graph
+ * caches against data races and scheduling-dependent behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace tlpsim;
+using namespace tlpsim::experiment;
+
+namespace
+{
+
+SystemConfig
+tinyConfig(const SchemeConfig &scheme = SchemeConfig::baseline())
+{
+    SystemConfig cfg = SystemConfig::cascadeLake(1);
+    cfg.warmup_instrs = 5'000;
+    cfg.sim_instrs = 20'000;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Runner, MemoizesByKey)
+{
+    Runner r(1);
+    std::atomic<int> calls{0};
+    auto fn = [&] {
+        ++calls;
+        SimResult res;
+        res.scheme = "x";
+        return res;
+    };
+    EXPECT_TRUE(r.submit("k", fn));
+    EXPECT_FALSE(r.submit("k", fn));   // duplicate submit is a no-op
+    const SimResult &a = r.get("k");
+    const SimResult &b = r.run("k", fn);
+    EXPECT_EQ(&a, &b);                 // same cached object
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Runner, InlineExecutionWithoutWorkers)
+{
+    // One job = zero threads; get() must run the job on this thread.
+    Runner r(1);
+    EXPECT_EQ(r.jobs(), 1u);
+    r.submit("a", [] { return SimResult{}; });
+    r.get("a");
+    EXPECT_EQ(r.completed(), 1u);
+    EXPECT_EQ(r.submitted(), 1u);
+}
+
+TEST(Runner, PropagatesJobExceptions)
+{
+    Runner r(2);
+    r.submit("boom", []() -> SimResult {
+        throw std::runtime_error("job failed");
+    });
+    EXPECT_THROW(r.get("boom"), std::runtime_error);
+}
+
+TEST(Runner, JobsFromEnv)
+{
+    ::setenv("TLPSIM_JOBS", "3", 1);
+    EXPECT_EQ(jobsFromEnv(), 3u);
+    ::setenv("TLPSIM_JOBS", "not-a-number", 1);
+    EXPECT_GE(jobsFromEnv(), 1u);
+    ::unsetenv("TLPSIM_JOBS");
+    EXPECT_GE(jobsFromEnv(), 1u);
+}
+
+TEST(Runner, ConfigKeyDistinguishesDesignPoints)
+{
+    SystemConfig a = tinyConfig();
+    SystemConfig b = tinyConfig(SchemeConfig::tlp());
+    SystemConfig c = tinyConfig();
+    c.sim_instrs += 1;
+    EXPECT_NE(configKey(a), configKey(b));
+    EXPECT_NE(configKey(a), configKey(c));
+    EXPECT_EQ(configKey(a), configKey(tinyConfig()));
+}
+
+/**
+ * The headline guarantee: the same grid sharded over 4 workers yields
+ * bit-identical per-workload stats to a sequential run in the same
+ * process. Any data race or scheduling dependence in the runner, the
+ * trace cache, or the graph cache shows up here.
+ */
+TEST(Runner, GridDeterministicAcrossWorkerCounts)
+{
+    auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    ASSERT_GE(ws.size(), 4u);
+    ws.resize(4);
+    std::vector<SystemConfig> grid{tinyConfig(),
+                                   tinyConfig(SchemeConfig::tlp())};
+
+    auto run_grid = [&](unsigned jobs) {
+        Runner r(jobs);
+        for (const auto &cfg : grid) {
+            for (const auto &w : ws)
+                r.submitSingle(w, cfg);
+        }
+        std::vector<SimResult> out;
+        for (const auto &cfg : grid) {
+            for (const auto &w : ws)
+                out.push_back(r.single(w, cfg));
+        }
+        return out;
+    };
+
+    std::vector<SimResult> seq = run_grid(1);
+    std::vector<SimResult> par = run_grid(4);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].stats, par[i].stats) << "design point " << i;
+        EXPECT_EQ(seq[i].cycles, par[i].cycles) << "design point " << i;
+        EXPECT_EQ(seq[i].ipc, par[i].ipc) << "design point " << i;
+        EXPECT_EQ(seq[i].hit_cycle_cap, par[i].hit_cycle_cap);
+    }
+}
+
+TEST(Runner, MixGridDeterministicAcrossWorkerCounts)
+{
+    auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    auto mixes = workloads::makeMixes(ws, 1, 99);
+    ASSERT_FALSE(mixes.empty());
+    mixes.resize(1);
+
+    SystemConfig cfg = SystemConfig::cascadeLake(4);
+    cfg.warmup_instrs = 2'000;
+    cfg.sim_instrs = 8'000;
+
+    auto run_grid = [&](unsigned jobs) {
+        Runner r(jobs);
+        for (const auto &mix : mixes)
+            r.submitMix(ws, mix, cfg);
+        std::vector<SimResult> out;
+        for (const auto &mix : mixes)
+            out.push_back(r.mix(ws, mix, cfg));
+        return out;
+    };
+
+    std::vector<SimResult> seq = run_grid(1);
+    std::vector<SimResult> par = run_grid(3);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].stats, par[i].stats);
+        EXPECT_EQ(seq[i].ipc, par[i].ipc);
+    }
+}

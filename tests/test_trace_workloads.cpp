@@ -234,9 +234,9 @@ TEST(Graph, RoadIsLowDegree)
 TEST(Graph, CacheReturnsSameGraph)
 {
     GraphCache::clear();
-    const Graph &a = GraphCache::get(GraphKind::Kron, 8, 6, 1);
-    const Graph &b = GraphCache::get(GraphKind::Kron, 8, 6, 1);
-    EXPECT_EQ(&a, &b);
+    auto a = GraphCache::get(GraphKind::Kron, 8, 6, 1);
+    auto b = GraphCache::get(GraphKind::Kron, 8, 6, 1);
+    EXPECT_EQ(a.get(), b.get());
     GraphCache::clear();
 }
 
