@@ -60,30 +60,38 @@ benchWorkloads()
     return workloads::singleCoreWorkloads(workloads::setSizeFromEnv());
 }
 
-/** Single-core config at bench scale. */
+/**
+ * The one place bench scale knobs are applied: Table III system for
+ * @p cores with the bench warmup/instruction counts, an L1D prefetcher
+ * picked by registry name, and a scheme preset (SchemeConfig::fromName
+ * for the paper's named design points).
+ */
 inline SystemConfig
-benchConfig(L1Prefetcher pf = L1Prefetcher::Ipcp,
+benchSystem(unsigned cores, const std::string &l1_pf = "ipcp",
             const SchemeConfig &scheme = SchemeConfig::baseline())
 {
-    SystemConfig cfg = SystemConfig::cascadeLake(1);
+    SystemConfig cfg = SystemConfig::cascadeLake(cores);
     cfg.warmup_instrs = benchWarmup();
     cfg.sim_instrs = benchInstrs();
-    cfg.l1_prefetcher = pf;
+    cfg.l1_prefetcher = l1_pf;
     cfg.scheme = scheme;
     return cfg;
 }
 
+/** Single-core config at bench scale. */
+inline SystemConfig
+benchConfig(const std::string &l1_pf = "ipcp",
+            const SchemeConfig &scheme = SchemeConfig::baseline())
+{
+    return benchSystem(1, l1_pf, scheme);
+}
+
 /** 4-core config at bench scale. */
 inline SystemConfig
-benchConfigMc(L1Prefetcher pf = L1Prefetcher::Ipcp,
+benchConfigMc(const std::string &l1_pf = "ipcp",
               const SchemeConfig &scheme = SchemeConfig::baseline())
 {
-    SystemConfig cfg = SystemConfig::cascadeLake(4);
-    cfg.warmup_instrs = benchWarmup();
-    cfg.sim_instrs = benchInstrs();
-    cfg.l1_prefetcher = pf;
-    cfg.scheme = scheme;
-    return cfg;
+    return benchSystem(4, l1_pf, scheme);
 }
 
 /** Run (or fetch) a single-core simulation through the shared runner. */

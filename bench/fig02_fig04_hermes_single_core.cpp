@@ -19,7 +19,7 @@ main()
 
     auto ws = benchWorkloads();
     SystemConfig base_cfg = benchConfig();
-    SystemConfig hermes_cfg = benchConfig(L1Prefetcher::Ipcp,
+    SystemConfig hermes_cfg = benchConfig("ipcp",
                                           SchemeConfig::hermes());
     prewarm(ws, {base_cfg, hermes_cfg});
 

@@ -18,7 +18,7 @@ main()
     auto ws = benchWorkloads();
     auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
     SystemConfig base_cfg = benchConfigMc();
-    SystemConfig hermes_cfg = benchConfigMc(L1Prefetcher::Ipcp,
+    SystemConfig hermes_cfg = benchConfigMc("ipcp",
                                             SchemeConfig::hermes());
     prewarmMixes(ws, mixes, {base_cfg, hermes_cfg});
 

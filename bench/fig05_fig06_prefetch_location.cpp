@@ -18,7 +18,7 @@ namespace
 
 void
 printFigure(const char *title, const std::vector<workloads::WorkloadSpec> &ws,
-            L1Prefetcher pf, bool accurate)
+            const std::string &pf, bool accurate)
 {
     SystemConfig cfg = benchConfig(pf);
     TablePrinter tp({"workload", "from L2C", "from LLC", "from DRAM",
@@ -57,16 +57,16 @@ main()
                 "IPCP and Berti");
 
     auto ws = benchWorkloads();
-    prewarm(ws, {benchConfig(L1Prefetcher::Ipcp),
-                 benchConfig(L1Prefetcher::Berti)});
+    prewarm(ws, {benchConfig("ipcp"),
+                 benchConfig("berti")});
     printFigure("Figure 5a: INACCURATE IPCP prefetches (PPKI by level)",
-                ws, L1Prefetcher::Ipcp, false);
+                ws, "ipcp", false);
     printFigure("Figure 5b: INACCURATE Berti prefetches (PPKI by level)",
-                ws, L1Prefetcher::Berti, false);
+                ws, "berti", false);
     printFigure("Figure 6a: ACCURATE IPCP prefetches (PPKI by level)",
-                ws, L1Prefetcher::Ipcp, true);
+                ws, "ipcp", true);
     printFigure("Figure 6b: ACCURATE Berti prefetches (PPKI by level)",
-                ws, L1Prefetcher::Berti, true);
+                ws, "berti", true);
 
     std::printf("\npaper shape: the DRAM column dominates Fig. 5 (useless "
                 "prefetches mostly come from DRAM), while Fig. 6's DRAM "

@@ -20,7 +20,7 @@ namespace
 
 void
 evaluatePrefetcher(const std::vector<workloads::WorkloadSpec> &ws,
-                   L1Prefetcher pf, const char *tag)
+                   const std::string &pf, const char *tag)
 {
     auto schemes = SchemeConfig::paperSchemes();
     SystemConfig base_cfg = benchConfig(pf);
@@ -126,14 +126,14 @@ main()
 
     auto ws = benchWorkloads();
     // Queue both prefetchers' full grids before rendering anything.
-    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+    for (const char *pf : {"ipcp", "berti"}) {
         std::vector<SystemConfig> grid{benchConfig(pf)};
         for (const auto &s : SchemeConfig::paperSchemes())
             grid.push_back(benchConfig(pf, s));
         prewarm(ws, grid);
     }
-    evaluatePrefetcher(ws, L1Prefetcher::Ipcp, "a (IPCP)");
-    evaluatePrefetcher(ws, L1Prefetcher::Berti, "b (Berti)");
+    evaluatePrefetcher(ws, "ipcp", "a (IPCP)");
+    evaluatePrefetcher(ws, "berti", "b (Berti)");
 
     std::printf("\npaper shape: TLP wins the speedup geomean and is the "
                 "only scheme that *reduces* DRAM transactions; TLP gives "

@@ -20,7 +20,7 @@ namespace
 void
 evaluatePrefetcher(const std::vector<workloads::WorkloadSpec> &ws,
                    const std::vector<workloads::Mix> &mixes,
-                   L1Prefetcher pf, const char *tag)
+                   const std::string &pf, const char *tag)
 {
     auto schemes = SchemeConfig::paperSchemes();
     SystemConfig mc_base = benchConfigMc(pf);
@@ -91,15 +91,15 @@ main()
     auto ws = benchWorkloads();
     auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
     // Queue both prefetchers' full grids before rendering anything.
-    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+    for (const char *pf : {"ipcp", "berti"}) {
         std::vector<SystemConfig> grid{benchConfigMc(pf)};
         for (const auto &s : SchemeConfig::paperSchemes())
             grid.push_back(benchConfigMc(pf, s));
         prewarmMixes(ws, mixes, grid);
         prewarmMixSingles(ws, mixes, benchConfig(pf));
     }
-    evaluatePrefetcher(ws, mixes, L1Prefetcher::Ipcp, "a (IPCP)");
-    evaluatePrefetcher(ws, mixes, L1Prefetcher::Berti, "b (Berti)");
+    evaluatePrefetcher(ws, mixes, "ipcp", "a (IPCP)");
+    evaluatePrefetcher(ws, mixes, "berti", "b (Berti)");
 
     std::printf("\npaper shape: TLP clearly wins the weighted-speedup "
                 "geomean (paper: +11.5%% IPCP / +11.8%% Berti) and is the "

@@ -24,7 +24,7 @@ main()
 
     std::vector<SystemConfig> grid{mc_base};
     for (const auto &s : schemes)
-        grid.push_back(benchConfigMc(L1Prefetcher::Ipcp, s));
+        grid.push_back(benchConfigMc("ipcp", s));
     prewarmMixes(ws, mixes, grid);
     prewarmMixSingles(ws, mixes, sc_base);
 
@@ -42,7 +42,7 @@ main()
                     run(ws[static_cast<std::size_t>(idx)], sc_base)
                         .ipc[0]);
             const SimResult &r = runMixCached(
-                ws, mix, benchConfigMc(L1Prefetcher::Ipcp, s));
+                ws, mix, benchConfigMc("ipcp", s));
             summary.add(mix.suite,
                         experiment::weightedSpeedupPct(r, b, singles));
             dram.push_back(experiment::percentDelta(

@@ -30,7 +30,7 @@ main()
         mc_base.dram_gbps_per_core = gbps;
         grid.push_back(mc_base);
         for (const auto &s : schemes) {
-            SystemConfig mc_scheme = benchConfigMc(L1Prefetcher::Ipcp, s);
+            SystemConfig mc_scheme = benchConfigMc("ipcp", s);
             mc_scheme.dram_gbps_per_core = gbps;
             grid.push_back(mc_scheme);
         }
@@ -56,7 +56,7 @@ main()
             SuiteSummary summary;
             double dsum = 0;
             int dn = 0;
-            SystemConfig mc_scheme = benchConfigMc(L1Prefetcher::Ipcp, s);
+            SystemConfig mc_scheme = benchConfigMc("ipcp", s);
             mc_scheme.dram_gbps_per_core = gbps;
             for (const auto &mix : mixes) {
                 const SimResult &b = runMixCached(ws, mix, mc_base);

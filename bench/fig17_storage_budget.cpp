@@ -37,7 +37,7 @@ main()
 
     auto ws = benchWorkloads();
 
-    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+    for (const char *pf : {"ipcp", "berti"}) {
         SystemConfig big = benchConfig(pf);
         big.l1_pf_table_scale = 2;
         prewarm(ws, {benchConfig(pf), big,
@@ -45,7 +45,7 @@ main()
                      benchConfig(pf, SchemeConfig::tlp())});
     }
 
-    for (L1Prefetcher pf : {L1Prefetcher::Ipcp, L1Prefetcher::Berti}) {
+    for (const char *pf : {"ipcp", "berti"}) {
         SystemConfig base_cfg = benchConfig(pf);
 
         SystemConfig pf_big = benchConfig(pf);
@@ -56,9 +56,9 @@ main()
         SystemConfig tlp = benchConfig(pf, SchemeConfig::tlp());
 
         TablePrinter tp({"design", "gm speedup"}, 24);
-        tp.printHeader(std::string("Figure 17 (" ) + toString(pf)
+        tp.printHeader(std::string("Figure 17 (" ) + pf
                        + " at L1D): geomean speedup over baseline");
-        tp.printRow({std::string(toString(pf)) + "+7KB",
+        tp.printRow({std::string(pf) + "+7KB",
                      TablePrinter::fmtPct(
                          geomeanSpeedup(ws, pf_big, base_cfg))});
         tp.printRow({"hermes+7KB",

@@ -30,7 +30,7 @@ main()
     SystemConfig cfg = SystemConfig::cascadeLake(1);
     cfg.warmup_instrs = 50'000;
     cfg.sim_instrs = 200'000;
-    cfg.l1_prefetcher = L1Prefetcher::Ipcp;
+    cfg.l1_prefetcher = "ipcp";   // registry name (see prefetcherRegistry())
 
     // 3/4. Run baseline vs TLP and compare.
     cfg.scheme = SchemeConfig::baseline();

@@ -355,8 +355,8 @@ Cache::processRead(TimedPacket &entry, Cycle now)
         spec.birth = now + params_.spec_latency;
         spec_delay_.push_back({spec, spec.birth});
         spec_delayed_issued_->add();
-        if (params_.on_spec_issued)
-            params_.on_spec_issued(spec);
+        if (params_.spec_observer != nullptr)
+            params_.spec_observer->onSpecIssued(spec);
     }
 
     if (Mshr *mshr = findMshr(pkt.paddr)) {

@@ -37,8 +37,6 @@ class Cache : public MemoryBackend, public MemoryClient
   public:
     /** Translates a virtual prefetch address (L1D only). */
     using Translator = std::function<Addr(std::uint8_t core, Addr vaddr)>;
-    /** Notified when this cache issues a delayed speculative DRAM read. */
-    using SpecHook = std::function<void(const Packet &)>;
 
     struct Params
     {
@@ -64,7 +62,9 @@ class Cache : public MemoryBackend, public MemoryClient
         DramController *spec_dram = nullptr;
         /** Extra cycles between miss detection and spec issue (paper: 6). */
         unsigned spec_latency = 6;
-        SpecHook on_spec_issued;
+        /** Notified when this cache issues a delayed speculative DRAM
+         *  read (direct call; hot path — see SpecIssueObserver). */
+        SpecIssueObserver *spec_observer = nullptr;
     };
 
     Cache(const Params &p, MemoryBackend *lower, StatGroup *stats);

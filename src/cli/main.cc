@@ -1,0 +1,331 @@
+/**
+ * @file
+ * tlpsim — the unified design-point / sweep driver.
+ *
+ * Any single design point, or a full workloads × schemes sweep grid, runs
+ * through the same Runner the figure benches use, so results are memoized
+ * per design point and tables are bit-identical for any worker count.
+ *
+ * Configuration precedence, lowest to highest:
+ *   built-in Table III defaults  (SystemConfig::cascadeLake)
+ *   --config FILE                ("key = value" lines; repeatable, later
+ *                                 files win)
+ *   TLPSIM_CONF                  ("key=value,key=value")
+ *   --set KEY=VALUE              (repeatable)
+ *
+ * The legacy TLPSIM_WARMUP / TLPSIM_INSTRS knobs apply only when no
+ * config source sets warmup_instrs / sim_instrs. TLPSIM_SET picks the
+ * workload set (tiny|small|full), TLPSIM_JOBS the worker count
+ * (--jobs overrides).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workloads/workload.hh"
+
+using namespace tlpsim;
+using namespace tlpsim::experiment;
+
+namespace
+{
+
+constexpr const char *kUsage = R"(tlpsim — two-level neural off-chip prediction + prefetch filtering simulator
+
+usage: tlpsim [options]
+
+design point:
+  --config FILE     apply a config file ("key = value" lines; repeatable)
+  --set KEY=VALUE   override one config key (repeatable)
+  --scheme NAME     scheme preset (repeatable; overrides the config's
+                    scheme for each listed name; scheme.* keys from
+                    --set/TLPSIM_CONF still override preset fields)
+  --workload NAME   workload to simulate (repeatable; --sweep defaults to
+                    every workload of the TLPSIM_SET set)
+
+modes (default: run the configured workloads once):
+  --sweep           run the workloads x schemes grid through the parallel
+                    Runner (default schemes: baseline + the four paper
+                    schemes of Figs. 10-14)
+  --print-config    print the effective full config and exit
+  --describe        print the Table III description and exit
+  --list-workloads  list workload names and exit
+  --list-schemes    list scheme preset names and exit
+  --list-components list registry component names and exit
+
+execution:
+  --jobs N          worker threads (default: TLPSIM_JOBS or all cores)
+  --help            this text
+
+environment: TLPSIM_CONF, TLPSIM_SET, TLPSIM_JOBS, TLPSIM_WARMUP,
+TLPSIM_INSTRS (see README "The tlpsim CLI").
+)";
+
+struct Options
+{
+    std::vector<std::string> config_files;
+    std::vector<std::string> sets;
+    std::vector<std::string> schemes;
+    std::vector<std::string> workload_names;
+    bool sweep = false;
+    bool print_config = false;
+    bool describe = false;
+    bool list_workloads = false;
+    bool list_schemes = false;
+    bool list_components = false;
+    unsigned jobs = 0;   ///< 0 = TLPSIM_JOBS / hardware default
+};
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "tlpsim: %s\n(run tlpsim --help for usage)\n",
+                 msg.c_str());
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    auto need_value = [&](int i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(flag) + " requires a value");
+        return argv[i + 1];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            std::exit(0);
+        } else if (arg == "--config") {
+            o.config_files.push_back(need_value(i, "--config"));
+            ++i;
+        } else if (arg == "--set") {
+            o.sets.push_back(need_value(i, "--set"));
+            ++i;
+        } else if (arg == "--scheme") {
+            o.schemes.push_back(need_value(i, "--scheme"));
+            ++i;
+        } else if (arg == "--workload") {
+            o.workload_names.push_back(need_value(i, "--workload"));
+            ++i;
+        } else if (arg == "--jobs") {
+            std::string v = need_value(i, "--jobs");
+            ++i;
+            char *end = nullptr;
+            unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || parsed == 0)
+                usageError("--jobs expects a positive integer, got '" + v
+                           + "'");
+            o.jobs = static_cast<unsigned>(parsed);
+        } else if (arg == "--sweep") {
+            o.sweep = true;
+        } else if (arg == "--print-config") {
+            o.print_config = true;
+        } else if (arg == "--describe") {
+            o.describe = true;
+        } else if (arg == "--list-workloads") {
+            o.list_workloads = true;
+        } else if (arg == "--list-schemes") {
+            o.list_schemes = true;
+        } else if (arg == "--list-components") {
+            o.list_components = true;
+        } else {
+            usageError("unknown option '" + arg + "'");
+        }
+    }
+    return o;
+}
+
+struct LayeredConfig
+{
+    /** All sources merged: files < env < --set. */
+    Config merged;
+    /** Env + --set only — per-invocation overrides. When --scheme or
+     *  --sweep replaces the scheme axis, only these scheme.* keys are
+     *  overlaid on the selected presets; a config file's scheme.* keys
+     *  describe *its* scheme and must not collapse a sweep grid. */
+    Config overrides;
+};
+
+LayeredConfig
+layeredConfig(const Options &o)
+{
+    LayeredConfig lc;
+    for (const std::string &path : o.config_files)
+        lc.merged.merge(Config::parseFile(path));
+    lc.overrides.merge(Config::fromEnv());
+    for (const std::string &assignment : o.sets)
+        lc.overrides.merge(Config::parseAssignments(assignment, "--set"));
+    lc.merged.merge(lc.overrides);
+    // Legacy scale knobs: lowest precedence after built-in defaults.
+    if (!lc.merged.has("warmup_instrs"))
+        lc.merged.set("warmup_instrs", envWarmup(200'000));
+    if (!lc.merged.has("sim_instrs"))
+        lc.merged.set("sim_instrs", envInstrs(1'000'000));
+    return lc;
+}
+
+const workloads::WorkloadSpec &
+findWorkload(const std::vector<workloads::WorkloadSpec> &all,
+             const std::string &name)
+{
+    for (const auto &w : all) {
+        if (w.name == name)
+            return w;
+    }
+    std::vector<std::string> names;
+    for (const auto &w : all)
+        names.push_back(w.name);
+    throw ConfigError("unknown workload '" + name
+                      + "'; valid names (set TLPSIM_SET=tiny|small|full to "
+                        "change the set): "
+                      + joinNames(names));
+}
+
+/** The canonical per-design-point row every mode prints. */
+TablePrinter
+resultTable()
+{
+    return TablePrinter({"workload", "scheme", "ipc", "l1d_mpki", "l2c_mpki",
+                         "llc_mpki", "dram_tx", "l1d_pf_acc"});
+}
+
+void
+printResultRow(const TablePrinter &tp, const std::string &workload,
+               const SimResult &r)
+{
+    tp.printRow({workload, r.scheme, TablePrinter::fmt(r.ipcTotal(), 4),
+                 TablePrinter::fmt(r.mpki("l1d"), 2),
+                 TablePrinter::fmt(r.mpki("l2c"), 2),
+                 TablePrinter::fmt(r.mpki("llc"), 2),
+                 std::to_string(r.dramTransactions()),
+                 TablePrinter::fmt(r.l1dPrefetchAccuracy() * 100.0, 1)});
+}
+
+int
+run(const Options &o)
+{
+    if (o.list_schemes) {
+        for (const std::string &n : SchemeConfig::names())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+    if (o.list_components) {
+        std::printf("prefetchers        : %s\n",
+                    prefetcherRegistry().namesLine().c_str());
+        std::printf("prefetch filters   : %s\n",
+                    filterRegistry().namesLine().c_str());
+        std::printf("off-chip predictors: %s\n",
+                    offchipRegistry().namesLine().c_str());
+        return 0;
+    }
+
+    auto all_workloads
+        = workloads::singleCoreWorkloads(workloads::setSizeFromEnv());
+    if (o.list_workloads) {
+        for (const auto &w : all_workloads)
+            std::printf("%-24s %s\n", w.name.c_str(), toString(w.suite));
+        return 0;
+    }
+
+    LayeredConfig lc = layeredConfig(o);
+    SystemConfig base = SystemConfig::fromConfig(lc.merged);
+
+    if (o.print_config) {
+        std::fputs(base.toConfig().serialize().c_str(), stdout);
+        return 0;
+    }
+    if (o.describe) {
+        std::fputs(base.description().c_str(), stdout);
+        return 0;
+    }
+    if (base.num_cores != 1) {
+        throw ConfigError(
+            "the tlpsim CLI drives single-core design points (cores = 1); "
+            "multi-core mixes run via the fig13/fig15/fig16 benches");
+    }
+
+    // Scheme axis: explicit --scheme list, else the config's scheme for a
+    // single run, else baseline + the paper schemes for a sweep. Explicit
+    // scheme.* keys from --set / TLPSIM_CONF override every selected
+    // preset's fields (config-file scheme.* keys shape the file's own
+    // scheme only, applied through `base` above).
+    const Config scheme_overrides = lc.overrides.sub("scheme");
+    auto with_overrides = [&scheme_overrides](const SchemeConfig &preset) {
+        return SchemeConfig::fromConfig(scheme_overrides, preset);
+    };
+    std::vector<SchemeConfig> schemes;
+    if (!o.schemes.empty()) {
+        for (const std::string &name : o.schemes)
+            schemes.push_back(with_overrides(SchemeConfig::fromName(name)));
+    } else if (o.sweep) {
+        schemes.push_back(with_overrides(SchemeConfig::baseline()));
+        for (const SchemeConfig &s : SchemeConfig::paperSchemes())
+            schemes.push_back(with_overrides(s));
+    } else {
+        schemes.push_back(base.scheme);
+    }
+
+    // Workload axis: explicit names, else (sweep only) the whole set.
+    std::vector<workloads::WorkloadSpec> selected;
+    if (!o.workload_names.empty()) {
+        for (const std::string &name : o.workload_names)
+            selected.push_back(findWorkload(all_workloads, name));
+    } else if (o.sweep) {
+        selected = all_workloads;
+    } else {
+        throw ConfigError("no workload selected: pass --workload NAME "
+                          "(repeatable) or --sweep; --list-workloads shows "
+                          "the choices");
+    }
+
+    std::vector<SystemConfig> grid;
+    for (const SchemeConfig &s : schemes) {
+        SystemConfig cfg = base;
+        cfg.scheme = s;
+        grid.push_back(cfg);
+    }
+
+    Runner runner(o.jobs == 0 ? jobsFromEnv() : o.jobs);
+    std::fprintf(stderr,
+                 "[tlpsim] %zu workload(s) x %zu scheme(s), "
+                 "warmup=%llu sim=%llu, jobs=%u\n",
+                 selected.size(), grid.size(),
+                 static_cast<unsigned long long>(base.warmup_instrs),
+                 static_cast<unsigned long long>(base.sim_instrs),
+                 runner.jobs());
+    // Submit the full grid up front; render in deterministic order.
+    for (const auto &cfg : grid) {
+        for (const auto &w : selected)
+            runner.submitSingle(w, cfg);
+    }
+
+    TablePrinter tp = resultTable();
+    tp.printHeader(o.sweep ? "tlpsim sweep" : "tlpsim run");
+    for (const auto &w : selected) {
+        for (const auto &cfg : grid)
+            printResultRow(tp, w.name, runner.single(w, cfg));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "tlpsim: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tlpsim: internal error: %s\n", e.what());
+        return 1;
+    }
+}

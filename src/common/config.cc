@@ -1,0 +1,300 @@
+#include "common/config.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace tlpsim
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+[[noreturn]] void
+badValue(const std::string &key, const std::string &value,
+         const char *expected)
+{
+    throw ConfigError("config key '" + key + "': expected " + expected
+                      + ", got '" + value + "'");
+}
+
+} // namespace
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names)
+        out += out.empty() ? n : ", " + n;
+    return out;
+}
+
+void
+Config::set(const std::string &key, std::string value)
+{
+    values_[key] = std::move(value);
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    // Shortest round-trippable rendering: parse(serialize()) must
+    // reproduce the exact double (configKey relies on it).
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), value);
+    values_[key] = std::string(buf, res.ptr);
+}
+
+void
+Config::setInt(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.values_)
+        values_[k] = v;
+}
+
+bool
+Config::erase(const std::string &key)
+{
+    return values_.erase(key) > 0;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_)
+        out.push_back(k);
+    return out;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const char *s = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(s, &end, 0);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        badValue(key, it->second, "a 64-bit integer");
+    return v;
+}
+
+std::uint64_t
+Config::getUnsigned(const std::string &key, std::uint64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const char *s = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0' || errno == ERANGE
+        || it->second.front() == '-') {
+        badValue(key, it->second, "a 64-bit non-negative integer");
+    }
+    return v;
+}
+
+std::int32_t
+Config::getInt32(const std::string &key, std::int32_t fallback) const
+{
+    std::int64_t v = getInt(key, fallback);
+    if (v < std::numeric_limits<std::int32_t>::min()
+        || v > std::numeric_limits<std::int32_t>::max()) {
+        badValue(key, getString(key), "a 32-bit integer");
+    }
+    return static_cast<std::int32_t>(v);
+}
+
+std::uint32_t
+Config::getUnsigned32(const std::string &key, std::uint32_t fallback) const
+{
+    std::uint64_t v = getUnsigned(key, fallback);
+    if (v > std::numeric_limits<std::uint32_t>::max())
+        badValue(key, getString(key), "a 32-bit non-negative integer");
+    return static_cast<std::uint32_t>(v);
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const char *s = it->second.c_str();
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || errno == ERANGE)
+        badValue(key, it->second, "a number");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    badValue(key, v, "a boolean (true/false/1/0/yes/no/on/off)");
+}
+
+Config
+Config::sub(const std::string &prefix) const
+{
+    Config out;
+    const std::string p = prefix + ".";
+    for (const auto &[k, v] : values_) {
+        if (k.size() > p.size() && k.compare(0, p.size(), p) == 0)
+            out.values_[k.substr(p.size())] = v;
+    }
+    return out;
+}
+
+Config
+Config::parse(const std::string &text, const std::string &origin)
+{
+    Config out;
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (std::size_t hash = line.find('#'); hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw ConfigError(origin + ":" + std::to_string(lineno)
+                              + ": expected 'key = value', got '" + line
+                              + "'");
+        }
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty()) {
+            throw ConfigError(origin + ":" + std::to_string(lineno)
+                              + ": empty key in '" + line + "'");
+        }
+        out.values_[key] = value;
+    }
+    return out;
+}
+
+Config
+Config::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ConfigError("cannot open config file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str(), path);
+}
+
+Config
+Config::parseAssignments(const std::string &text, const std::string &origin)
+{
+    Config out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find_first_of(",;", pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string item = trim(text.substr(pos, end - pos));
+        pos = end + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            throw ConfigError(origin + ": expected KEY=VALUE, got '" + item
+                              + "'");
+        }
+        std::string key = trim(item.substr(0, eq));
+        if (key.empty())
+            throw ConfigError(origin + ": empty key in '" + item + "'");
+        out.values_[key] = trim(item.substr(eq + 1));
+    }
+    return out;
+}
+
+Config
+Config::fromEnv()
+{
+    const char *v = std::getenv("TLPSIM_CONF");
+    return v == nullptr ? Config{}
+                        : parseAssignments(v, "TLPSIM_CONF");
+}
+
+std::string
+Config::serialize() const
+{
+    std::string out;
+    for (const auto &[k, v] : values_) {
+        out += k;
+        out += " = ";
+        out += v;
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace tlpsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Declarative configuration tree.
+ *
+ * A Config is an ordered map of dotted-path keys ("scheme.tau_high") to
+ * string values with typed accessors — the data half of the component
+ * registry API. Sources, lowest to highest precedence in the tlpsim CLI:
+ *
+ *   1. built-in defaults (SystemConfig::cascadeLake),
+ *   2. config files      (Config::parseFile, "key = value" lines),
+ *   3. the TLPSIM_CONF environment variable ("key=value,key=value"),
+ *   4. --set KEY=VALUE command-line flags,
+ *
+ * merged with Config::merge (later layers win per key). Typed getters
+ * throw ConfigError with the offending key, value, and expectation, so
+ * every failure names what to fix.
+ */
+
+#ifndef TLPSIM_COMMON_CONFIG_HH
+#define TLPSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace tlpsim
+{
+
+/** Any configuration failure: parse errors, bad values, unknown keys. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Comma-join for "valid names: ..." error messages and listings. */
+std::string joinNames(const std::vector<std::string> &names);
+
+class Config
+{
+  public:
+    // ----- building ------------------------------------------------------
+    void set(const std::string &key, std::string value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, bool value);
+    void set(const std::string &key, double value);
+    /** Any integral type. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    void
+    set(const std::string &key, T value)
+    {
+        setInt(key, static_cast<std::int64_t>(value));
+    }
+
+    /** Overlay @p other on top of this config (other wins per key). */
+    void merge(const Config &other);
+
+    /** Remove a key; returns true if it existed. */
+    bool erase(const std::string &key);
+
+    // ----- reading -------------------------------------------------------
+    bool has(const std::string &key) const;
+    bool empty() const { return values_.empty(); }
+
+    /** All keys, sorted. */
+    std::vector<std::string> keys() const;
+
+    /** Typed getters: return @p fallback when the key is absent; throw
+     *  ConfigError when the key is present but malformed. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t fallback) const;
+    std::uint64_t getUnsigned(const std::string &key,
+                              std::uint64_t fallback) const;
+    /** 32-bit variants: additionally throw ConfigError when the value is
+     *  well-formed but out of range (no silent truncation). */
+    std::int32_t getInt32(const std::string &key,
+                          std::int32_t fallback) const;
+    std::uint32_t getUnsigned32(const std::string &key,
+                                std::uint32_t fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Sub-config of every key under "prefix." with the prefix stripped. */
+    Config sub(const std::string &prefix) const;
+
+    // ----- text format ---------------------------------------------------
+    /**
+     * Parse "key = value" lines. '#' starts a comment; blank lines are
+     * skipped. @p origin names the source in error messages.
+     */
+    static Config parse(const std::string &text,
+                        const std::string &origin = "<string>");
+
+    static Config parseFile(const std::string &path);
+
+    /** Parse "key=value,key=value" (',' or ';' separated) — the TLPSIM_CONF
+     *  / --set flag syntax. */
+    static Config parseAssignments(const std::string &text,
+                                   const std::string &origin = "<args>");
+
+    /** The TLPSIM_CONF environment overlay (empty if unset). */
+    static Config fromEnv();
+
+    /** Canonical "key = value" rendering, keys sorted; parse(serialize())
+     *  reproduces the config exactly. */
+    std::string serialize() const;
+
+    bool operator==(const Config &) const = default;
+
+  private:
+    void setInt(const std::string &key, std::int64_t value);
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_CONFIG_HH

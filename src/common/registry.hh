@@ -1,0 +1,120 @@
+/**
+ * @file
+ * String-keyed component registry.
+ *
+ * Registry<T, Extra...> maps names to builder functions producing
+ * unique_ptr<T> from a Config (plus any extra wiring arguments, e.g. the
+ * StatGroup components register their counters in). Components register
+ * themselves — adding a new prefetcher, filter, or off-chip predictor is
+ * one Registry::add call in the component's own translation unit, not a
+ * core-header edit — and configs select them by name.
+ *
+ * Lookup failures throw ConfigError listing every registered name, so a
+ * typo in a config file tells the user exactly what is available.
+ *
+ * tlpsim links as a static archive, where a TU whose only contents are
+ * registration statics would be dropped by the linker. The built-in
+ * components therefore expose plain registration functions that
+ * prefetch/factory.cc calls once (see prefetcherRegistry() and friends);
+ * out-of-tree components linked as objects can use Registrar statics.
+ */
+
+#ifndef TLPSIM_COMMON_REGISTRY_HH
+#define TLPSIM_COMMON_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace tlpsim
+{
+
+template <typename T, typename... Extra>
+class Registry
+{
+  public:
+    using Builder
+        = std::function<std::unique_ptr<T>(const Config &, Extra...)>;
+
+    /** Process-wide instance for this component type. */
+    static Registry &
+    instance()
+    {
+        static Registry r;
+        return r;
+    }
+
+    /** Human-readable component-kind label used in error messages. */
+    void setKind(std::string kind) { kind_ = std::move(kind); }
+    const std::string &kind() const { return kind_; }
+
+    /** Register @p builder under @p name. Re-registering the same name is
+     *  an error (catches copy-paste slips at startup). */
+    void
+    add(const std::string &name, Builder builder)
+    {
+        auto [it, inserted] = builders_.emplace(name, std::move(builder));
+        if (!inserted) {
+            throw ConfigError(kind_ + " '" + name
+                              + "' is already registered");
+        }
+    }
+
+    bool contains(const std::string &name) const
+    {
+        return builders_.count(name) > 0;
+    }
+
+    /** Sorted names of every registered builder. */
+    std::vector<std::string>
+    names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(builders_.size());
+        for (const auto &[name, b] : builders_)
+            out.push_back(name);
+        return out;
+    }
+
+    /** One comma-separated line of names() (for error messages / --list). */
+    std::string namesLine() const { return joinNames(names()); }
+
+    /** Build the component registered as @p name. Throws ConfigError
+     *  naming every valid choice if @p name is unknown. */
+    std::unique_ptr<T>
+    build(const std::string &name, const Config &cfg, Extra... extra) const
+    {
+        auto it = builders_.find(name);
+        if (it == builders_.end()) {
+            throw ConfigError("unknown " + kind_ + " '" + name
+                              + "'; valid names: " + namesLine());
+        }
+        return it->second(cfg, extra...);
+    }
+
+  private:
+    Registry() = default;
+
+    std::string kind_ = "component";
+    std::map<std::string, Builder> builders_;
+};
+
+/** Static-initialization helper for out-of-tree components:
+ *  `static Registrar<Prefetcher> reg("mine", [](const Config &c) {...});` */
+template <typename T, typename... Extra>
+struct Registrar
+{
+    Registrar(const std::string &name,
+              typename Registry<T, Extra...>::Builder builder)
+    {
+        Registry<T, Extra...>::instance().add(name, std::move(builder));
+    }
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_REGISTRY_HH

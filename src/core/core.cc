@@ -297,8 +297,8 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
         spec.birth = now + tr.latency + params_.spec_latency;
         spec_delay_.emplace_back(spec.birth, spec);
         spec_from_core_->add();
-        if (ports_.on_spec_issued)
-            ports_.on_spec_issued(spec);
+        if (ports_.spec_observer != nullptr)
+            ports_.spec_observer->onSpecIssued(spec);
     }
 
     inflight_loads_[e.load_id] = {slot, e.serial, d.meta, false};

@@ -69,8 +69,9 @@ class Core : public MemoryClient
         PageTable *page_table = nullptr;
         DramController *dram = nullptr;
         OffChipPredictor *offchip = nullptr;
-        /** Observer for Fig. 4: speculative request issued (core side). */
-        std::function<void(const Packet &)> on_spec_issued;
+        /** Observer for Fig. 4: speculative request issued (core side);
+         *  direct virtual call, not std::function — hot path. */
+        SpecIssueObserver *spec_observer = nullptr;
     };
 
     Core(const Params &p, const Ports &ports, StatGroup *stats);

@@ -1,6 +1,7 @@
 #include "filter/ppf.hh"
 
 #include "common/bitops.hh"
+#include "prefetch/factory.hh"
 #include "prefetch/spp.hh"
 
 namespace tlpsim
@@ -163,6 +164,24 @@ Ppf::storage() const
           prefetch_table_.size() * per_record);
     b.add(params_.name + ".reject_table", reject_table_.size() * per_record);
     return b;
+}
+
+void
+detail::registerPpfFilter()
+{
+    FilterRegistry::instance().add(
+        "ppf", [](const Config &cfg, StatGroup *stats) {
+            Ppf::Params p;
+            p.name = cfg.getString("name", p.name);
+            p.tau_accept = cfg.getInt32("tau_accept", p.tau_accept);
+            p.tau_reject = cfg.getInt32("tau_reject", p.tau_reject);
+            p.training_threshold = cfg.getInt32("training_threshold", p.training_threshold);
+            p.prefetch_table_entries = cfg.getUnsigned32("prefetch_table_entries",
+                                p.prefetch_table_entries);
+            p.reject_table_entries = cfg.getUnsigned32("reject_table_entries",
+                                p.reject_table_entries);
+            return std::make_unique<Ppf>(p, stats);
+        });
 }
 
 } // namespace tlpsim

@@ -73,6 +73,22 @@ struct Packet
     }
 };
 
+/**
+ * Observer for Hermes/FLP speculative DRAM issues (the Fig. 4 oracle).
+ * A direct virtual call replaces the old std::function hook: the probe
+ * fires on the on_spec_issued hot path, where the extra indirection and
+ * potential allocation of std::function showed up in profiles (see
+ * ROADMAP).
+ */
+class SpecIssueObserver
+{
+  public:
+    virtual ~SpecIssueObserver() = default;
+
+    /** @p pkt is the speculative request; pkt.core identifies the core. */
+    virtual void onSpecIssued(const Packet &pkt) = 0;
+};
+
 /** Receives completions for requests it issued. */
 class MemoryClient
 {

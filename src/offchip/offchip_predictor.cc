@@ -1,5 +1,8 @@
 #include "offchip/offchip_predictor.hh"
 
+#include "common/config.hh"
+#include "prefetch/factory.hh"
+
 namespace tlpsim
 {
 
@@ -13,6 +16,20 @@ toString(OffchipPolicy p)
       case OffchipPolicy::Selective: return "selective";
     }
     return "?";
+}
+
+OffchipPolicy
+offchipPolicyFromString(const std::string &s)
+{
+    for (OffchipPolicy p :
+         {OffchipPolicy::None, OffchipPolicy::Immediate,
+          OffchipPolicy::AlwaysDelay, OffchipPolicy::Selective}) {
+        if (s == toString(p))
+            return p;
+    }
+    throw ConfigError("unknown off-chip policy '" + s
+                      + "'; valid names: none, immediate, always_delay, "
+                        "selective");
 }
 
 OffChipPredictor::OffChipPredictor(const Params &p, StatGroup *stats)
@@ -101,6 +118,46 @@ OffChipPredictor::storage() const
     b.merge(perceptron_.storage(), "");
     b.merge(page_buffer_.storage(), "");
     return b;
+}
+
+namespace
+{
+
+OffChipPredictor::Params
+offchipParamsFromConfig(const Config &cfg, OffChipPredictor::Params p)
+{
+    p.name = cfg.getString("name", p.name);
+    if (cfg.has("policy"))
+        p.policy = offchipPolicyFromString(cfg.getString("policy"));
+    p.tau_high = cfg.getInt32("tau_high", p.tau_high);
+    p.tau_low = cfg.getInt32("tau_low", p.tau_low);
+    p.training_threshold = cfg.getInt32("training_threshold", p.training_threshold);
+    p.table_scale_shift = cfg.getUnsigned32("table_scale_shift", p.table_scale_shift);
+    return p;
+}
+
+} // namespace
+
+void
+detail::registerOffchipPredictors()
+{
+    // The paper's FLP: selective-delay defaults.
+    OffchipRegistry::instance().add(
+        "flp", [](const Config &cfg, StatGroup *stats) {
+            return std::make_unique<OffChipPredictor>(
+                offchipParamsFromConfig(cfg, OffChipPredictor::Params{}),
+                stats);
+        });
+    // Hermes (Bera et al., MICRO 2022): one aggressive activation
+    // threshold, always-immediate speculative requests.
+    OffchipRegistry::instance().add(
+        "hermes", [](const Config &cfg, StatGroup *stats) {
+            OffChipPredictor::Params defaults;
+            defaults.policy = OffchipPolicy::Immediate;
+            defaults.tau_high = 4;
+            return std::make_unique<OffChipPredictor>(
+                offchipParamsFromConfig(cfg, defaults), stats);
+        });
 }
 
 } // namespace tlpsim

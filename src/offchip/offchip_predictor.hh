@@ -39,6 +39,10 @@ enum class OffchipPolicy
 
 const char *toString(OffchipPolicy p);
 
+/** Parse toString's names back ("none", "immediate", "always_delay",
+ *  "selective"); throws ConfigError listing the valid names. */
+OffchipPolicy offchipPolicyFromString(const std::string &s);
+
 class OffChipPredictor
 {
   public:

@@ -1,5 +1,7 @@
 #include "offchip/slp.hh"
 
+#include "prefetch/factory.hh"
+
 namespace tlpsim
 {
 
@@ -81,6 +83,24 @@ Slp::storage() const
     b.merge(perceptron_.storage(), "");
     b.merge(page_buffer_.storage(), "");
     return b;
+}
+
+void
+detail::registerSlpFilter()
+{
+    FilterRegistry::instance().add(
+        "slp", [](const Config &cfg, StatGroup *stats) {
+            Slp::Params p;
+            p.name = cfg.getString("name", p.name);
+            p.tau_pref
+                = cfg.getInt32("tau_pref", p.tau_pref);
+            p.training_threshold = cfg.getInt32("training_threshold", p.training_threshold);
+            p.use_flp_feature
+                = cfg.getBool("use_flp_feature", p.use_flp_feature);
+            p.table_scale_shift = cfg.getUnsigned32("table_scale_shift", p.table_scale_shift);
+            p.probation_period = cfg.getUnsigned32("probation_period", p.probation_period);
+            return std::make_unique<Slp>(p, stats);
+        });
 }
 
 } // namespace tlpsim

@@ -1,6 +1,7 @@
 #include "prefetch/berti.hh"
 
 #include "common/bitops.hh"
+#include "prefetch/factory.hh"
 
 namespace tlpsim
 {
@@ -140,6 +141,25 @@ BertiPrefetcher::storage() const
         + std::uint64_t{params_.deltas_per_ip} * 10;
     b.add("berti.table", table_.size() * per_entry);
     return b;
+}
+
+void
+detail::registerBertiPrefetcher()
+{
+    PrefetcherRegistry::instance().add("berti", [](const Config &cfg) {
+        BertiPrefetcher::Params p;
+        auto u = [&cfg](const char *key, unsigned def) {
+            return cfg.getUnsigned32(key, def);
+        };
+        p.table_entries = u("table_entries", p.table_entries);
+        p.history_per_ip = u("history_per_ip", p.history_per_ip);
+        p.deltas_per_ip = u("deltas_per_ip", p.deltas_per_ip);
+        p.issue_confidence = u("issue_confidence", p.issue_confidence);
+        p.initial_window = cfg.getUnsigned("initial_window",
+                                           p.initial_window);
+        p.table_scale_shift = u("table_scale_shift", p.table_scale_shift);
+        return std::make_unique<BertiPrefetcher>(p);
+    });
 }
 
 } // namespace tlpsim

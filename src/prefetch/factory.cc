@@ -1,12 +1,54 @@
 #include "prefetch/factory.hh"
 
-#include "prefetch/berti.hh"
-#include "prefetch/ipcp.hh"
-#include "prefetch/next_line.hh"
-#include "prefetch/spp.hh"
+#include <mutex>
 
 namespace tlpsim
 {
+
+namespace
+{
+
+/** Register every built-in component exactly once. */
+void
+ensureBuiltins()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        PrefetcherRegistry::instance().setKind("prefetcher");
+        FilterRegistry::instance().setKind("prefetch filter");
+        OffchipRegistry::instance().setKind("off-chip predictor");
+        detail::registerNextLinePrefetcher();
+        detail::registerIpcpPrefetcher();
+        detail::registerBertiPrefetcher();
+        detail::registerSppPrefetcher();
+        detail::registerPpfFilter();
+        detail::registerSlpFilter();
+        detail::registerOffchipPredictors();
+    });
+}
+
+} // namespace
+
+PrefetcherRegistry &
+prefetcherRegistry()
+{
+    ensureBuiltins();
+    return PrefetcherRegistry::instance();
+}
+
+FilterRegistry &
+filterRegistry()
+{
+    ensureBuiltins();
+    return FilterRegistry::instance();
+}
+
+OffchipRegistry &
+offchipRegistry()
+{
+    ensureBuiltins();
+    return OffchipRegistry::instance();
+}
 
 const char *
 toString(L1Prefetcher p)
@@ -34,40 +76,21 @@ toString(L2Prefetcher p)
 std::unique_ptr<Prefetcher>
 makeL1Prefetcher(L1Prefetcher kind, unsigned table_scale_shift)
 {
-    switch (kind) {
-      case L1Prefetcher::None:
+    if (kind == L1Prefetcher::None)
         return nullptr;
-      case L1Prefetcher::NextLine:
-        return std::make_unique<NextLinePrefetcher>();
-      case L1Prefetcher::Ipcp: {
-        IpcpPrefetcher::Params p;
-        p.table_scale_shift = table_scale_shift;
-        return std::make_unique<IpcpPrefetcher>(p);
-      }
-      case L1Prefetcher::Berti: {
-        BertiPrefetcher::Params p;
-        p.table_scale_shift = table_scale_shift;
-        return std::make_unique<BertiPrefetcher>(p);
-      }
-    }
-    return nullptr;
+    Config cfg;
+    cfg.set("table_scale_shift", table_scale_shift);
+    return prefetcherRegistry().build(toString(kind), cfg);
 }
 
 std::unique_ptr<Prefetcher>
 makeL2Prefetcher(L2Prefetcher kind)
 {
-    switch (kind) {
-      case L2Prefetcher::None:
+    if (kind == L2Prefetcher::None)
         return nullptr;
-      case L2Prefetcher::Spp:
-        return std::make_unique<SppPrefetcher>();
-      case L2Prefetcher::SppAggressive: {
-        SppPrefetcher::Params p;
-        p.aggressive = true;
-        return std::make_unique<SppPrefetcher>(p);
-      }
-    }
-    return nullptr;
+    Config cfg;
+    cfg.set("aggressive", kind == L2Prefetcher::SppAggressive);
+    return prefetcherRegistry().build("spp", cfg);
 }
 
 } // namespace tlpsim

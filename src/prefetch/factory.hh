@@ -1,7 +1,17 @@
 /**
  * @file
- * Prefetcher factory: construct L1D / L2 prefetchers by name, with the
- * optional table-size scaling used by the Fig. 17 "+7KB" designs.
+ * Component registries and the deprecated enum-based prefetcher factory.
+ *
+ * Construction of prefetchers, prefetch filters, and off-chip predictors
+ * goes through string-keyed registries (common/registry.hh); the
+ * accessors below guarantee the built-in components (next_line, ipcp,
+ * berti, spp, ppf, slp, flp, hermes) are registered before first use.
+ *
+ * The L1Prefetcher/L2Prefetcher enums and makeL1Prefetcher /
+ * makeL2Prefetcher predate the registry and survive as thin shims over
+ * registry lookups. New code should pass registry names (see
+ * SystemConfig::l1_prefetcher) — the enums cannot name components the
+ * core headers have never heard of, which is the point of the registry.
  */
 
 #ifndef TLPSIM_PREFETCH_FACTORY_HH
@@ -9,12 +19,44 @@
 
 #include <memory>
 
+#include "common/registry.hh"
+#include "common/stats.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace tlpsim
 {
 
-/** L1D prefetcher selection (Table III: IPCP or Berti). */
+class OffChipPredictor;
+
+using PrefetcherRegistry = Registry<Prefetcher>;
+using FilterRegistry = Registry<PrefetchFilter, StatGroup *>;
+using OffchipRegistry = Registry<OffChipPredictor, StatGroup *>;
+
+/** The prefetcher registry, with the built-ins guaranteed registered. */
+PrefetcherRegistry &prefetcherRegistry();
+
+/** The prefetch-filter registry (ppf, slp), built-ins registered. */
+FilterRegistry &filterRegistry();
+
+/** The off-chip predictor registry (flp, hermes), built-ins registered. */
+OffchipRegistry &offchipRegistry();
+
+namespace detail
+{
+// Built-in registration hooks, each defined in its component's .cc and
+// called exactly once by the accessors above (static-archive-safe).
+void registerNextLinePrefetcher();
+void registerIpcpPrefetcher();
+void registerBertiPrefetcher();
+void registerSppPrefetcher();
+void registerPpfFilter();
+void registerSlpFilter();
+void registerOffchipPredictors();
+} // namespace detail
+
+// --- deprecated enum shims ----------------------------------------------
+
+/** [[deprecated]] L1D prefetcher selection; use registry names. */
 enum class L1Prefetcher
 {
     None,
@@ -23,7 +65,7 @@ enum class L1Prefetcher
     Berti,
 };
 
-/** L2 prefetcher selection (Table III: SPP). */
+/** [[deprecated]] L2 prefetcher selection; use registry names. */
 enum class L2Prefetcher
 {
     None,
@@ -34,8 +76,10 @@ enum class L2Prefetcher
 const char *toString(L1Prefetcher p);
 const char *toString(L2Prefetcher p);
 
+/** Shim: registry lookup of toString(kind) with table_scale_shift set. */
 std::unique_ptr<Prefetcher> makeL1Prefetcher(L1Prefetcher kind,
                                              unsigned table_scale_shift = 0);
+/** Shim: registry lookup ("spp", aggressive flag for SppAggressive). */
 std::unique_ptr<Prefetcher> makeL2Prefetcher(L2Prefetcher kind);
 
 } // namespace tlpsim

@@ -1,6 +1,7 @@
 #include "prefetch/ipcp.hh"
 
 #include "common/bitops.hh"
+#include "prefetch/factory.hh"
 
 namespace tlpsim
 {
@@ -165,6 +166,27 @@ IpcpPrefetcher::storage() const
     b.add("ipcp.regions", regions_.size()
           * std::uint64_t{params_.region_lines + 26});
     return b;
+}
+
+void
+detail::registerIpcpPrefetcher()
+{
+    PrefetcherRegistry::instance().add("ipcp", [](const Config &cfg) {
+        IpcpPrefetcher::Params p;
+        auto u = [&cfg](const char *key, unsigned def) {
+            return cfg.getUnsigned32(key, def);
+        };
+        p.ip_table_entries = u("ip_table_entries", p.ip_table_entries);
+        p.cspt_entries = u("cspt_entries", p.cspt_entries);
+        p.region_entries = u("region_entries", p.region_entries);
+        p.region_lines = u("region_lines", p.region_lines);
+        p.gs_dense_threshold = u("gs_dense_threshold", p.gs_dense_threshold);
+        p.cs_degree = u("cs_degree", p.cs_degree);
+        p.cplx_degree = u("cplx_degree", p.cplx_degree);
+        p.gs_degree = u("gs_degree", p.gs_degree);
+        p.table_scale_shift = u("table_scale_shift", p.table_scale_shift);
+        return std::make_unique<IpcpPrefetcher>(p);
+    });
 }
 
 } // namespace tlpsim

@@ -1,0 +1,17 @@
+#include "prefetch/next_line.hh"
+
+#include "prefetch/factory.hh"
+
+namespace tlpsim
+{
+
+void
+detail::registerNextLinePrefetcher()
+{
+    PrefetcherRegistry::instance().add("next_line", [](const Config &cfg) {
+        auto degree = cfg.getUnsigned32("degree", 1);
+        return std::make_unique<NextLinePrefetcher>(degree);
+    });
+}
+
+} // namespace tlpsim

@@ -1,6 +1,7 @@
 #include "prefetch/spp.hh"
 
 #include "common/bitops.hh"
+#include "prefetch/factory.hh"
 
 namespace tlpsim
 {
@@ -127,6 +128,27 @@ SppPrefetcher::storage() const
           pattern_table_.size()
               * (std::uint64_t{params_.deltas_per_pattern} * 11 + 8));
     return b;
+}
+
+void
+detail::registerSppPrefetcher()
+{
+    PrefetcherRegistry::instance().add("spp", [](const Config &cfg) {
+        SppPrefetcher::Params p;
+        auto u = [&cfg](const char *key, unsigned def) {
+            return cfg.getUnsigned32(key, def);
+        };
+        p.signature_table_entries
+            = u("signature_table_entries", p.signature_table_entries);
+        p.pattern_table_entries
+            = u("pattern_table_entries", p.pattern_table_entries);
+        p.deltas_per_pattern = u("deltas_per_pattern", p.deltas_per_pattern);
+        p.max_lookahead = u("max_lookahead", p.max_lookahead);
+        p.lookahead_cutoff = u("lookahead_cutoff", p.lookahead_cutoff);
+        p.fill_threshold = u("fill_threshold", p.fill_threshold);
+        p.aggressive = cfg.getBool("aggressive", p.aggressive);
+        return std::make_unique<SppPrefetcher>(p);
+    });
 }
 
 } // namespace tlpsim

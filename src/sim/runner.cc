@@ -1,8 +1,8 @@
 #include "sim/runner.hh"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace tlpsim::experiment
 {
@@ -23,11 +23,21 @@ jobsFromEnv()
 std::string
 configKey(const SystemConfig &cfg)
 {
-    char buf[192];
-    std::snprintf(buf, sizeof(buf), "%s|%s|%u|%.2f|%u|%u|%llu|%llu",
-                  cfg.scheme.name.c_str(), toString(cfg.l1_prefetcher),
-                  cfg.num_cores, cfg.dram_gbps_per_core,
-                  cfg.l1_pf_table_scale, cfg.scheme.offchip_table_scale,
+    // The full declarative dump: every tunable field participates, so two
+    // design points that differ anywhere (a tau, a queue depth, a
+    // component name) can never share a memoized result.
+    return cfg.toConfig().serialize();
+}
+
+std::string
+configSummary(const SystemConfig &cfg)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s|%s|%uc|%llu+%llu",
+                  cfg.scheme.name.c_str(),
+                  cfg.l1_prefetcher.empty() ? "none"
+                                            : cfg.l1_prefetcher.c_str(),
+                  cfg.num_cores,
                   static_cast<unsigned long long>(cfg.warmup_instrs),
                   static_cast<unsigned long long>(cfg.sim_instrs));
     return buf;
@@ -75,7 +85,12 @@ Runner::get(const std::string &key)
 {
     std::unique_lock<std::mutex> lock(m_);
     auto it = map_.find(key);
-    assert(it != map_.end() && "get() for a key that was never submitted");
+    if (it == map_.end()) {
+        // Loud in every build type: an assert would be compiled out of
+        // the default Release build and leave UB on a mis-keyed lookup.
+        throw std::logic_error("Runner::get() for a key that was never "
+                               "submitted: " + key);
+    }
     Job &job = it->second;
     if (job.state == State::Pending) {
         // Work stealing: run the job on the calling thread. The stale
@@ -136,7 +151,24 @@ void
 logSim(const char *what, const std::string &name, const SystemConfig &cfg)
 {
     std::fprintf(stderr, "  [sim %s] %-22s %s\n", what, name.c_str(),
-                 configKey(cfg).c_str());
+                 configSummary(cfg).c_str());
+}
+
+} // namespace
+
+namespace
+{
+
+std::string
+singleKey(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
+{
+    return "1c|" + w.name + "|" + configKey(cfg);
+}
+
+std::string
+mixKey(const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    return "4c|" + mix.name + "|" + configKey(cfg);
 }
 
 } // namespace
@@ -145,8 +177,7 @@ void
 Runner::submitSingle(const workloads::WorkloadSpec &w,
                      const SystemConfig &cfg)
 {
-    std::string key = "1c|" + w.name + "|" + configKey(cfg);
-    submit(key, [w, cfg] {
+    submit(singleKey(w, cfg), [w, cfg] {
         logSim("1c", w.name, cfg);
         return runSingleCore(w, cfg);
     });
@@ -156,15 +187,14 @@ const SimResult &
 Runner::single(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 {
     submitSingle(w, cfg);
-    return get("1c|" + w.name + "|" + configKey(cfg));
+    return get(singleKey(w, cfg));
 }
 
 void
 Runner::submitMix(const std::vector<workloads::WorkloadSpec> &all,
                   const workloads::Mix &mix, const SystemConfig &cfg)
 {
-    std::string key = "4c|" + mix.name + "|" + configKey(cfg);
-    submit(key, [all, mix, cfg] {
+    submit(mixKey(mix, cfg), [all, mix, cfg] {
         logSim("4c", mix.name, cfg);
         return runMix(all, mix, cfg);
     });
@@ -175,7 +205,7 @@ Runner::mix(const std::vector<workloads::WorkloadSpec> &all,
             const workloads::Mix &mix, const SystemConfig &cfg)
 {
     submitMix(all, mix, cfg);
-    return get("4c|" + mix.name + "|" + configKey(cfg));
+    return get(mixKey(mix, cfg));
 }
 
 std::size_t

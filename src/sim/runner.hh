@@ -46,8 +46,12 @@ namespace tlpsim::experiment
 /** TLPSIM_JOBS (worker threads), default hardware_concurrency, min 1. */
 unsigned jobsFromEnv();
 
-/** Fingerprint of every SystemConfig field the simulation depends on. */
+/** Fingerprint of every SystemConfig field the simulation depends on
+ *  (the serialized SystemConfig::toConfig dump). */
 std::string configKey(const SystemConfig &cfg);
+
+/** Short human-readable design-point label for progress logging. */
+std::string configSummary(const SystemConfig &cfg);
 
 class Runner
 {

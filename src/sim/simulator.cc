@@ -2,8 +2,44 @@
 
 #include <cassert>
 
+#include "offchip/slp.hh"
+
 namespace tlpsim
 {
+
+/** Counts which level already holds the block a speculative DRAM read
+ *  targets (Fig. 4). One instance serves all cores via pkt.core. */
+struct Simulator::OracleProbe : SpecIssueObserver
+{
+    OracleProbe(Simulator &sim, StatGroup &stats)
+        : sim_(sim),
+          in_l1d_(stats.counter("oracle.spec_block_in_l1d")),
+          in_l2c_(stats.counter("oracle.spec_block_in_l2c")),
+          in_llc_(stats.counter("oracle.spec_block_in_llc")),
+          in_dram_(stats.counter("oracle.spec_block_in_dram"))
+    {
+    }
+
+    void
+    onSpecIssued(const Packet &pkt) override
+    {
+        if (sim_.l1d_[pkt.core]->probe(pkt.paddr))
+            in_l1d_->add();
+        else if (sim_.l2_[pkt.core]->probe(pkt.paddr))
+            in_l2c_->add();
+        else if (sim_.llc_->probe(pkt.paddr))
+            in_llc_->add();
+        else
+            in_dram_->add();
+    }
+
+  private:
+    Simulator &sim_;
+    Counter *in_l1d_;
+    Counter *in_l2c_;
+    Counter *in_llc_;
+    Counter *in_dram_;
+};
 
 std::uint64_t
 SimResult::sumOverCores(const std::string &suffix) const
@@ -69,6 +105,8 @@ Simulator::build()
 {
     const unsigned n = cfg_.num_cores;
 
+    oracle_ = std::make_unique<OracleProbe>(*this, stats_);
+
     DramController::Params dp = cfg_.dram;
     dp.burst_cycles = cfg_.burstCycles();
     dp.num_cores = n;
@@ -87,53 +125,73 @@ Simulator::build()
         const std::string cpu = "cpu" + std::to_string(c);
         const SchemeConfig &sch = cfg_.scheme;
 
+        // Components are built through the string-keyed registries: the
+        // scheme names what is deployed, the Config subtree carries its
+        // tuning, and new backends drop in via registration alone.
         if (sch.hasOffchip()) {
-            OffChipPredictor::Params op;
-            op.name = cpu + ".flp";
-            op.policy = sch.offchip_policy;
-            op.tau_high = sch.tau_high;
-            op.tau_low = sch.tau_low;
-            op.training_threshold = sch.offchip_training_threshold;
-            op.table_scale_shift = sch.offchip_table_scale;
+            Config oc;
+            oc.set("name", cpu + ".flp");
+            oc.set("policy", toString(sch.offchip_policy));
+            oc.set("tau_high", sch.tau_high);
+            oc.set("tau_low", sch.tau_low);
+            oc.set("training_threshold", sch.offchip_training_threshold);
+            oc.set("table_scale_shift", sch.offchip_table_scale);
             offchip_.push_back(
-                std::make_unique<OffChipPredictor>(op, &stats_));
+                offchipRegistry().build(sch.offchip, oc, &stats_));
         } else {
             offchip_.push_back(nullptr);
         }
 
-        if (sch.slp) {
-            Slp::Params sp;
-            sp.name = cpu + ".slp";
-            sp.tau_pref = sch.slp_tau_pref;
-            sp.use_flp_feature = sch.slp_flp_feature;
-            slp_.push_back(std::make_unique<Slp>(sp, &stats_));
+        if (sch.hasL1Filter()) {
+            Config fc;
+            fc.set("name", cpu + "." + sch.l1_filter);
+            fc.set("tau_pref", sch.slp_tau_pref);
+            fc.set("use_flp_feature", sch.slp_flp_feature);
+            l1_filter_.push_back(
+                filterRegistry().build(sch.l1_filter, fc, &stats_));
         } else {
-            slp_.push_back(nullptr);
+            l1_filter_.push_back(nullptr);
         }
 
-        if (sch.ppf) {
-            Ppf::Params pp;
-            pp.name = cpu + ".ppf";
-            ppf_.push_back(std::make_unique<Ppf>(pp, &stats_));
+        if (sch.hasL2Filter()) {
+            Config fc;
+            fc.set("name", cpu + "." + sch.l2_filter);
+            l2_filter_.push_back(
+                filterRegistry().build(sch.l2_filter, fc, &stats_));
         } else {
-            ppf_.push_back(nullptr);
+            l2_filter_.push_back(nullptr);
         }
 
-        l1_pf_.push_back(makeL1Prefetcher(cfg_.l1_prefetcher,
-                                          cfg_.l1_pf_table_scale));
-        l2_pf_.push_back(makeL2Prefetcher(
-            sch.ppf ? L2Prefetcher::SppAggressive : L2Prefetcher::Spp));
+        if (!cfg_.l1_prefetcher.empty()) {
+            Config pc;
+            pc.set("table_scale_shift", cfg_.l1_pf_table_scale);
+            l1_pf_.push_back(
+                prefetcherRegistry().build(cfg_.l1_prefetcher, pc));
+        } else {
+            l1_pf_.push_back(nullptr);
+        }
+
+        if (!cfg_.l2_prefetcher.empty()) {
+            // The PPF-companion tuning (§V-E): with an L2 filter deployed
+            // the L2 prefetcher runs aggressive and lets the filter prune.
+            Config pc;
+            pc.set("aggressive", sch.hasL2Filter());
+            l2_pf_.push_back(
+                prefetcherRegistry().build(cfg_.l2_prefetcher, pc));
+        } else {
+            l2_pf_.push_back(nullptr);
+        }
 
         Cache::Params p2 = cfg_.l2;
         p2.name = cpu + ".l2c";
         p2.prefetcher = l2_pf_.back().get();
-        p2.filter = ppf_.back().get();
+        p2.filter = l2_filter_.back().get();
         l2_.push_back(std::make_unique<Cache>(p2, llc_.get(), &stats_));
 
         Cache::Params p1 = cfg_.l1d;
         p1.name = cpu + ".l1d";
         p1.prefetcher = l1_pf_.back().get();
-        p1.filter = slp_.back().get();
+        p1.filter = l1_filter_.back().get();
         p1.translator = [this, c](std::uint8_t, Addr vaddr) {
             return page_table_.translate(c, vaddr);
         };
@@ -143,26 +201,9 @@ Simulator::build()
             p1.spec_dram = dram_.get();
         }
         p1.spec_latency = cfg_.core.spec_latency;
-        // Register the oracle counters once; the probe fires per
-        // speculative issue and must not do string lookups.
-        Counter *in_l1d = stats_.counter("oracle.spec_block_in_l1d");
-        Counter *in_l2c = stats_.counter("oracle.spec_block_in_l2c");
-        Counter *in_llc = stats_.counter("oracle.spec_block_in_llc");
-        Counter *in_dram = stats_.counter("oracle.spec_block_in_dram");
-        p1.on_spec_issued = [this, c, in_l1d, in_l2c, in_llc,
-                             in_dram](const Packet &pkt) {
-            if (l1d_[c]->probe(pkt.paddr))
-                in_l1d->add();
-            else if (l2_[c]->probe(pkt.paddr))
-                in_l2c->add();
-            else if (llc_->probe(pkt.paddr))
-                in_llc->add();
-            else
-                in_dram->add();
-        };
+        p1.spec_observer = oracle_.get();
         l1d_.push_back(std::make_unique<Cache>(p1, l2_.back().get(),
                                                &stats_));
-        // Close the self-reference used by the oracle probe above.
 
         Cache::Params pi = cfg_.l1i;
         pi.name = cpu + ".l1i";
@@ -193,7 +234,7 @@ Simulator::build()
         ports.page_table = &page_table_;
         ports.dram = dram_.get();
         ports.offchip = offchip_.back().get();
-        ports.on_spec_issued = p1.on_spec_issued;
+        ports.spec_observer = oracle_.get();
         cores_.push_back(std::make_unique<Core>(cp, ports, &stats_));
     }
 }

@@ -16,10 +16,8 @@
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
-#include "filter/ppf.hh"
 #include "mem/dram.hh"
 #include "offchip/offchip_predictor.hh"
-#include "offchip/slp.hh"
 #include "sim/system_config.hh"
 #include "tlb/page_table.hh"
 #include "tlb/tlb.hh"
@@ -96,6 +94,11 @@ class Simulator
     static StorageBudget tlpStorageBudget();
 
   private:
+    /** The Fig. 4 oracle: counts where spec-targeted blocks reside.
+     *  Implements SpecIssueObserver so the per-issue notification is one
+     *  virtual call (no std::function on the hot path). */
+    struct OracleProbe;
+
     void build();
 
     SystemConfig cfg_;
@@ -104,6 +107,7 @@ class Simulator
     Cycle cycle_ = 0;
 
     PageTable page_table_;
+    std::unique_ptr<OracleProbe> oracle_;
     std::unique_ptr<DramController> dram_;
     std::unique_ptr<Cache> llc_;
     std::vector<std::unique_ptr<Cache>> l2_;
@@ -113,8 +117,8 @@ class Simulator
     std::vector<std::unique_ptr<Tlb>> stlb_;
     std::vector<std::unique_ptr<TranslationStack>> tlbs_;
     std::vector<std::unique_ptr<OffChipPredictor>> offchip_;
-    std::vector<std::unique_ptr<Slp>> slp_;
-    std::vector<std::unique_ptr<Ppf>> ppf_;
+    std::vector<std::unique_ptr<PrefetchFilter>> l1_filter_;
+    std::vector<std::unique_ptr<PrefetchFilter>> l2_filter_;
     std::vector<std::unique_ptr<Prefetcher>> l1_pf_;
     std::vector<std::unique_ptr<Prefetcher>> l2_pf_;
     std::vector<std::unique_ptr<TraceReader>> readers_;

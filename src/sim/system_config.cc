@@ -2,117 +2,202 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 namespace tlpsim
 {
 
+// ---------------------------------------------------------------- schemes
+
+namespace
+{
+
 SchemeConfig
-SchemeConfig::baseline()
+makeBaseline()
 {
     return {};
 }
 
 SchemeConfig
-SchemeConfig::ppfScheme()
+makePpf()
 {
     SchemeConfig s;
     s.name = "ppf";
-    s.ppf = true;
+    s.l2_filter = "ppf";
     return s;
 }
 
 SchemeConfig
-SchemeConfig::hermes()
+makeHermes()
 {
     SchemeConfig s;
     s.name = "hermes";
+    s.offchip = "hermes";
     s.offchip_policy = OffchipPolicy::Immediate;
     s.tau_high = 4;   // Hermes' single activation threshold (aggressive)
     return s;
 }
 
 SchemeConfig
-SchemeConfig::hermesPpf()
+makeHermesPpf()
 {
-    SchemeConfig s = hermes();
+    SchemeConfig s = makeHermes();
     s.name = "hermes+ppf";
-    s.ppf = true;
+    s.l2_filter = "ppf";
     return s;
 }
 
 SchemeConfig
-SchemeConfig::tlp()
+makeTlp()
 {
     SchemeConfig s;
     s.name = "tlp";
+    s.offchip = "flp";
     s.offchip_policy = OffchipPolicy::Selective;
-    s.slp = true;
+    s.l1_filter = "slp";
     s.slp_flp_feature = true;
     return s;
 }
 
 SchemeConfig
-SchemeConfig::flpOnly()
+makeFlpOnly()
 {
     SchemeConfig s;
     s.name = "flp";
+    s.offchip = "flp";
     s.offchip_policy = OffchipPolicy::Immediate;
     s.tau_high = 4;   // without the delay mechanism FLP fires like Hermes
     return s;
 }
 
 SchemeConfig
-SchemeConfig::slpOnly()
+makeSlpOnly()
 {
     SchemeConfig s;
     s.name = "slp";
-    s.slp = true;
+    s.l1_filter = "slp";
     s.slp_flp_feature = false;   // no FLP exists to supply the feature
     return s;
 }
 
 SchemeConfig
-SchemeConfig::tsp()
+makeTsp()
 {
     SchemeConfig s;
     s.name = "tsp";
+    s.offchip = "flp";
     s.offchip_policy = OffchipPolicy::Immediate;
     s.tau_high = 4;
-    s.slp = true;
+    s.l1_filter = "slp";
     s.slp_flp_feature = false;
     return s;
 }
 
 SchemeConfig
-SchemeConfig::delayedTsp()
+makeDelayedTsp()
 {
     SchemeConfig s;
     s.name = "delayed_tsp";
+    s.offchip = "flp";
     s.offchip_policy = OffchipPolicy::AlwaysDelay;
-    s.slp = true;
+    s.l1_filter = "slp";
     s.slp_flp_feature = false;
     return s;
 }
 
 SchemeConfig
-SchemeConfig::selectiveTsp()
+makeSelectiveTsp()
 {
     SchemeConfig s;
     s.name = "selective_tsp";
+    s.offchip = "flp";
     s.offchip_policy = OffchipPolicy::Selective;
-    s.slp = true;
+    s.l1_filter = "slp";
     s.slp_flp_feature = false;
     return s;
 }
 
 SchemeConfig
-SchemeConfig::hermesPlus7kb()
+makeHermesPlus7kb()
 {
-    SchemeConfig s = hermes();
+    SchemeConfig s = makeHermes();
     s.name = "hermes+7kb";
     s.offchip_table_scale = 2;   // 4x tables ≈ +7.7 KB
     return s;
 }
+
+/** Every named design point of the paper, keyed by scheme name. */
+const std::map<std::string, SchemeConfig (*)()> &
+presetTable()
+{
+    static const std::map<std::string, SchemeConfig (*)()> table = {
+        {"baseline", makeBaseline},
+        {"ppf", makePpf},
+        {"hermes", makeHermes},
+        {"hermes+ppf", makeHermesPpf},
+        {"tlp", makeTlp},
+        {"flp", makeFlpOnly},
+        {"slp", makeSlpOnly},
+        {"tsp", makeTsp},
+        {"delayed_tsp", makeDelayedTsp},
+        {"selective_tsp", makeSelectiveTsp},
+        {"hermes+7kb", makeHermesPlus7kb},
+    };
+    return table;
+}
+
+/** Config files accept "none"/"no" for an empty component slot. */
+std::string
+normalizeComponentName(std::string name)
+{
+    return name == "none" || name == "no" ? std::string{} : name;
+}
+
+/** Render an empty component slot as "none" in config dumps. */
+const std::string &
+renderComponentName(const std::string &name)
+{
+    static const std::string none = "none";
+    return name.empty() ? none : name;
+}
+
+} // namespace
+
+SchemeConfig
+SchemeConfig::fromName(const std::string &name)
+{
+    const auto &table = presetTable();
+    auto it = table.find(name);
+    if (it == table.end()) {
+        throw ConfigError("unknown scheme '" + name
+                          + "'; valid names: " + joinNames(names()));
+    }
+    return it->second();
+}
+
+std::vector<std::string>
+SchemeConfig::names()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, fn] : presetTable())
+        out.push_back(n);
+    return out;
+}
+
+SchemeConfig SchemeConfig::baseline() { return fromName("baseline"); }
+SchemeConfig SchemeConfig::ppfScheme() { return fromName("ppf"); }
+SchemeConfig SchemeConfig::hermes() { return fromName("hermes"); }
+SchemeConfig SchemeConfig::hermesPpf() { return fromName("hermes+ppf"); }
+SchemeConfig SchemeConfig::tlp() { return fromName("tlp"); }
+SchemeConfig SchemeConfig::flpOnly() { return fromName("flp"); }
+SchemeConfig SchemeConfig::slpOnly() { return fromName("slp"); }
+SchemeConfig SchemeConfig::tsp() { return fromName("tsp"); }
+SchemeConfig SchemeConfig::delayedTsp() { return fromName("delayed_tsp"); }
+SchemeConfig SchemeConfig::selectiveTsp()
+{
+    return fromName("selective_tsp");
+}
+SchemeConfig SchemeConfig::hermesPlus7kb() { return fromName("hermes+7kb"); }
 
 std::vector<SchemeConfig>
 SchemeConfig::paperSchemes()
@@ -125,6 +210,83 @@ SchemeConfig::ablationSchemes()
 {
     return {flpOnly(), slpOnly(), tsp(), delayedTsp(), selectiveTsp(), tlp()};
 }
+
+SchemeConfig
+SchemeConfig::fromConfig(const Config &cfg)
+{
+    return fromConfig(cfg, SchemeConfig{});
+}
+
+SchemeConfig
+SchemeConfig::fromConfig(const Config &cfg, const SchemeConfig &defaults)
+{
+    SchemeConfig s = defaults;
+    s.name = cfg.getString("name", s.name);
+    s.offchip = normalizeComponentName(cfg.getString("offchip", s.offchip));
+    if (cfg.has("offchip_policy")) {
+        s.offchip_policy
+            = offchipPolicyFromString(cfg.getString("offchip_policy"));
+    }
+    s.tau_high = cfg.getInt32("tau_high", s.tau_high);
+    s.tau_low = cfg.getInt32("tau_low", s.tau_low);
+    s.offchip_training_threshold
+        = cfg.getInt32("offchip_training_threshold",
+                                      s.offchip_training_threshold);
+    s.offchip_table_scale = cfg.getUnsigned32("offchip_table_scale", s.offchip_table_scale);
+    s.l1_filter
+        = normalizeComponentName(cfg.getString("l1_filter", s.l1_filter));
+    s.slp_flp_feature = cfg.getBool("slp_flp_feature", s.slp_flp_feature);
+    s.slp_tau_pref
+        = cfg.getInt32("slp_tau_pref", s.slp_tau_pref);
+    s.l2_filter
+        = normalizeComponentName(cfg.getString("l2_filter", s.l2_filter));
+
+    if (s.hasOffchip() && !offchipRegistry().contains(s.offchip)) {
+        throw ConfigError("scheme.offchip: unknown off-chip predictor '"
+                          + s.offchip + "'; valid names: "
+                          + offchipRegistry().namesLine());
+    }
+    for (const std::string &f : {s.l1_filter, s.l2_filter}) {
+        if (!f.empty() && !filterRegistry().contains(f)) {
+            throw ConfigError("scheme filter: unknown prefetch filter '" + f
+                              + "'; valid names: "
+                              + filterRegistry().namesLine());
+        }
+    }
+    if (s.hasOffchip() && s.offchip_policy == OffchipPolicy::None) {
+        throw ConfigError("scheme.offchip = '" + s.offchip
+                          + "' requires scheme.offchip_policy to be "
+                            "immediate, always_delay, or selective");
+    }
+    if (!s.hasOffchip() && s.offchip_policy != OffchipPolicy::None) {
+        throw ConfigError(std::string{"scheme.offchip_policy = '"}
+                          + toString(s.offchip_policy)
+                          + "' requires scheme.offchip to name a predictor "
+                            "(valid names: "
+                          + offchipRegistry().namesLine() + ")");
+    }
+    return s;
+}
+
+Config
+SchemeConfig::toConfig() const
+{
+    Config c;
+    c.set("name", name);
+    c.set("offchip", renderComponentName(offchip));
+    c.set("offchip_policy", toString(offchip_policy));
+    c.set("tau_high", tau_high);
+    c.set("tau_low", tau_low);
+    c.set("offchip_training_threshold", offchip_training_threshold);
+    c.set("offchip_table_scale", offchip_table_scale);
+    c.set("l1_filter", renderComponentName(l1_filter));
+    c.set("slp_flp_feature", slp_flp_feature);
+    c.set("slp_tau_pref", slp_tau_pref);
+    c.set("l2_filter", renderComponentName(l2_filter));
+    return c;
+}
+
+// ----------------------------------------------------------- SystemConfig
 
 SystemConfig
 SystemConfig::cascadeLake(unsigned cores)
@@ -200,6 +362,187 @@ SystemConfig::cascadeLake(unsigned cores)
     return c;
 }
 
+namespace
+{
+
+unsigned
+getU32(const Config &cfg, const std::string &key, unsigned def)
+{
+    return cfg.getUnsigned32(key, def);
+}
+
+void
+cacheToConfig(Config &c, const std::string &p, const Cache::Params &cp)
+{
+    c.set(p + ".sets", cp.sets);
+    c.set(p + ".ways", cp.ways);
+    c.set(p + ".latency", cp.latency);
+    c.set(p + ".mshrs", cp.mshrs);
+    c.set(p + ".rq_size", cp.rq_size);
+    c.set(p + ".wq_size", cp.wq_size);
+    c.set(p + ".pq_size", cp.pq_size);
+    c.set(p + ".lookups_per_cycle", cp.lookups_per_cycle);
+}
+
+void
+cacheFromConfig(const Config &c, const std::string &p, Cache::Params &cp)
+{
+    cp.sets = getU32(c, p + ".sets", cp.sets);
+    cp.ways = getU32(c, p + ".ways", cp.ways);
+    cp.latency = getU32(c, p + ".latency", cp.latency);
+    cp.mshrs = getU32(c, p + ".mshrs", cp.mshrs);
+    cp.rq_size = getU32(c, p + ".rq_size", cp.rq_size);
+    cp.wq_size = getU32(c, p + ".wq_size", cp.wq_size);
+    cp.pq_size = getU32(c, p + ".pq_size", cp.pq_size);
+    cp.lookups_per_cycle
+        = getU32(c, p + ".lookups_per_cycle", cp.lookups_per_cycle);
+}
+
+void
+tlbToConfig(Config &c, const std::string &p, const Tlb::Params &tp)
+{
+    c.set(p + ".entries", tp.entries);
+    c.set(p + ".ways", tp.ways);
+    c.set(p + ".latency", tp.latency);
+}
+
+void
+tlbFromConfig(const Config &c, const std::string &p, Tlb::Params &tp)
+{
+    tp.entries = getU32(c, p + ".entries", tp.entries);
+    tp.ways = getU32(c, p + ".ways", tp.ways);
+    tp.latency = getU32(c, p + ".latency", tp.latency);
+}
+
+} // namespace
+
+SystemConfig
+SystemConfig::fromConfig(const Config &cfg)
+{
+    SystemConfig c = cascadeLake(getU32(cfg, "cores", 1));
+
+    if (cfg.has("scheme"))
+        c.scheme = SchemeConfig::fromName(cfg.getString("scheme"));
+    c.scheme = SchemeConfig::fromConfig(cfg.sub("scheme"), c.scheme);
+
+    c.warmup_instrs = cfg.getUnsigned("warmup_instrs", c.warmup_instrs);
+    c.sim_instrs = cfg.getUnsigned("sim_instrs", c.sim_instrs);
+    c.dram_gbps_per_core
+        = cfg.getDouble("dram_gbps_per_core", c.dram_gbps_per_core);
+    c.core_ghz = cfg.getDouble("core_ghz", c.core_ghz);
+
+    c.l1_prefetcher = normalizeComponentName(
+        cfg.getString("l1d.prefetcher", c.l1_prefetcher));
+    c.l1_pf_table_scale = getU32(cfg, "l1d.prefetcher_table_scale",
+                                 c.l1_pf_table_scale);
+    c.l2_prefetcher = normalizeComponentName(
+        cfg.getString("l2.prefetcher", c.l2_prefetcher));
+    for (const std::string &pf : {c.l1_prefetcher, c.l2_prefetcher}) {
+        if (!pf.empty() && !prefetcherRegistry().contains(pf)) {
+            throw ConfigError("unknown prefetcher '" + pf
+                              + "'; valid names: "
+                              + prefetcherRegistry().namesLine());
+        }
+    }
+
+    c.core.rob_size = getU32(cfg, "core.rob_size", c.core.rob_size);
+    c.core.fetch_width = getU32(cfg, "core.fetch_width", c.core.fetch_width);
+    c.core.retire_width
+        = getU32(cfg, "core.retire_width", c.core.retire_width);
+    c.core.lq_size = getU32(cfg, "core.lq_size", c.core.lq_size);
+    c.core.sq_size = getU32(cfg, "core.sq_size", c.core.sq_size);
+    c.core.load_ports = getU32(cfg, "core.load_ports", c.core.load_ports);
+    c.core.mispredict_penalty
+        = getU32(cfg, "core.mispredict_penalty", c.core.mispredict_penalty);
+    c.core.spec_latency
+        = getU32(cfg, "core.spec_latency", c.core.spec_latency);
+
+    cacheFromConfig(cfg, "l1i", c.l1i);
+    cacheFromConfig(cfg, "l1d", c.l1d);
+    cacheFromConfig(cfg, "l2", c.l2);
+    cacheFromConfig(cfg, "llc", c.llc);
+    tlbFromConfig(cfg, "dtlb", c.dtlb);
+    tlbFromConfig(cfg, "stlb", c.stlb);
+
+    c.dram.banks = getU32(cfg, "dram.banks", c.dram.banks);
+    c.dram.blocks_per_row
+        = getU32(cfg, "dram.blocks_per_row", c.dram.blocks_per_row);
+    c.dram.t_rp = getU32(cfg, "dram.t_rp", c.dram.t_rp);
+    c.dram.t_rcd = getU32(cfg, "dram.t_rcd", c.dram.t_rcd);
+    c.dram.t_cas = getU32(cfg, "dram.t_cas", c.dram.t_cas);
+    c.dram.rq_size = getU32(cfg, "dram.rq_size", c.dram.rq_size);
+    c.dram.wq_size = getU32(cfg, "dram.wq_size", c.dram.wq_size);
+    c.dram.spec_buffer_entries = getU32(cfg, "dram.spec_buffer_entries",
+                                        c.dram.spec_buffer_entries);
+
+    // Reject unknown keys, pointing at what exists. The known-key set is
+    // exactly what toConfig emits, plus the "scheme" preset shorthand.
+    Config known = c.toConfig();
+    known.set("scheme", "");
+    for (const std::string &key : cfg.keys()) {
+        if (known.has(key))
+            continue;
+        std::string segment = key.substr(0, key.find('.'));
+        std::vector<std::string> near;
+        for (const std::string &k : known.keys()) {
+            if (k.compare(0, segment.size() + 1, segment + ".") == 0
+                || k == segment) {
+                near.push_back(k);
+            }
+        }
+        std::string valid = near.empty()
+            ? "valid keys: " + joinNames(known.keys())
+            : "valid '" + segment + "' keys: " + joinNames(near);
+        throw ConfigError("unknown config key '" + key + "'; " + valid);
+    }
+    return c;
+}
+
+Config
+SystemConfig::toConfig() const
+{
+    Config c;
+    c.set("cores", num_cores);
+    c.set("warmup_instrs", warmup_instrs);
+    c.set("sim_instrs", sim_instrs);
+    c.set("dram_gbps_per_core", dram_gbps_per_core);
+    c.set("core_ghz", core_ghz);
+
+    c.set("l1d.prefetcher", renderComponentName(l1_prefetcher));
+    c.set("l1d.prefetcher_table_scale", l1_pf_table_scale);
+    c.set("l2.prefetcher", renderComponentName(l2_prefetcher));
+
+    Config sch = scheme.toConfig();
+    for (const std::string &k : sch.keys())
+        c.set("scheme." + k, sch.getString(k));
+
+    c.set("core.rob_size", core.rob_size);
+    c.set("core.fetch_width", core.fetch_width);
+    c.set("core.retire_width", core.retire_width);
+    c.set("core.lq_size", core.lq_size);
+    c.set("core.sq_size", core.sq_size);
+    c.set("core.load_ports", core.load_ports);
+    c.set("core.mispredict_penalty", core.mispredict_penalty);
+    c.set("core.spec_latency", core.spec_latency);
+
+    cacheToConfig(c, "l1i", l1i);
+    cacheToConfig(c, "l1d", l1d);
+    cacheToConfig(c, "l2", l2);
+    cacheToConfig(c, "llc", llc);
+    tlbToConfig(c, "dtlb", dtlb);
+    tlbToConfig(c, "stlb", stlb);
+
+    c.set("dram.banks", dram.banks);
+    c.set("dram.blocks_per_row", dram.blocks_per_row);
+    c.set("dram.t_rp", dram.t_rp);
+    c.set("dram.t_rcd", dram.t_rcd);
+    c.set("dram.t_cas", dram.t_cas);
+    c.set("dram.rq_size", dram.rq_size);
+    c.set("dram.wq_size", dram.wq_size);
+    c.set("dram.spec_buffer_entries", dram.spec_buffer_entries);
+    return c;
+}
+
 unsigned
 SystemConfig::burstCycles() const
 {
@@ -238,13 +581,13 @@ SystemConfig::description() const
                   "  L1D        : %u KB, %u-way, %ucc, %u MSHRs, "
                   "prefetcher=%s\n",
                   l1d.sets * l1d.ways * 64 / 1024, l1d.ways, l1d.latency,
-                  l1d.mshrs, toString(l1_prefetcher));
+                  l1d.mshrs, renderComponentName(l1_prefetcher).c_str());
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   "  L2C        : %u KB, %u-way, %ucc, %u MSHRs, "
-                  "prefetcher=spp\n",
+                  "prefetcher=%s\n",
                   l2.sets * l2.ways * 64 / 1024, l2.ways, l2.latency,
-                  l2.mshrs);
+                  l2.mshrs, renderComponentName(l2_prefetcher).c_str());
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   "  LLC        : %.3f MB/core, %u-way, %ucc, %u MSHRs\n",

@@ -2,10 +2,15 @@
  * @file
  * System configuration: the Table III baseline (Intel Cascade Lake-like)
  * plus the "scheme" axis — which combination of off-chip prediction and
- * prefetch filtering is deployed. Every evaluated design point in the
- * paper (baseline, PPF, Hermes, Hermes+PPF, TLP, and the Fig. 15
- * ablations) is a SchemeConfig; Fig. 17's storage-boosted designs are
- * table-scale variants.
+ * prefetch filtering is deployed.
+ *
+ * Components are named by registry keys (prefetch/factory.hh), so a
+ * design point is pure data: SystemConfig round-trips through the
+ * declarative Config tree (fromConfig/toConfig), and every evaluated
+ * design point in the paper (baseline, PPF, Hermes, Hermes+PPF, TLP, the
+ * Fig. 15 ablations, Fig. 17's storage-boosted variants) is a named
+ * SchemeConfig preset (SchemeConfig::fromName) shipped as a config file
+ * under configs/.
  */
 
 #ifndef TLPSIM_SIM_SYSTEM_CONFIG_HH
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "common/config.hh"
 #include "core/core.hh"
 #include "mem/dram.hh"
 #include "offchip/offchip_predictor.hh"
@@ -25,23 +31,43 @@
 namespace tlpsim
 {
 
-/** One evaluated design point (off-chip prediction × prefetch filtering). */
+/** One evaluated design point (off-chip prediction × prefetch filtering).
+ *  Component slots hold registry names; empty means "not deployed". */
 struct SchemeConfig
 {
     std::string name = "baseline";
+
+    /** Off-chip predictor registry name ("flp", "hermes"; "" = none). */
+    std::string offchip;
     OffchipPolicy offchip_policy = OffchipPolicy::None;
     int tau_high = 30;   ///< FLP τ_high / Hermes activation threshold
     int tau_low = 8;     ///< FLP τ_low (predicted-off-chip cut)
     int offchip_training_threshold = 30;
     unsigned offchip_table_scale = 0;   ///< Fig. 17 "+7KB Hermes"
-    bool slp = false;
+
+    /** L1D prefetch-filter registry name ("slp"; "" = none). */
+    std::string l1_filter;
     bool slp_flp_feature = true;
     int slp_tau_pref = 8;
-    bool ppf = false;
 
-    bool hasOffchip() const { return offchip_policy != OffchipPolicy::None; }
+    /** L2 prefetch-filter registry name ("ppf"; "" = none). */
+    std::string l2_filter;
 
-    // --- The paper's named design points --------------------------------
+    bool hasOffchip() const { return !offchip.empty(); }
+    bool hasL1Filter() const { return !l1_filter.empty(); }
+    bool hasL2Filter() const { return !l2_filter.empty(); }
+
+    bool operator==(const SchemeConfig &) const = default;
+
+    // --- named presets ---------------------------------------------------
+    /** Look up a paper scheme by name; throws ConfigError listing names().
+     */
+    static SchemeConfig fromName(const std::string &name);
+
+    /** Sorted names of every shipped scheme preset. */
+    static std::vector<std::string> names();
+
+    // Deprecated preset accessors (shims over fromName).
     static SchemeConfig baseline();
     static SchemeConfig ppfScheme();       ///< PPF over aggressive SPP
     static SchemeConfig hermes();          ///< Hermes (immediate)
@@ -61,6 +87,16 @@ struct SchemeConfig
 
     /** The six Fig. 15 ablation points. */
     static std::vector<SchemeConfig> ablationSchemes();
+
+    // --- declarative config ---------------------------------------------
+    /** Apply relative keys ("offchip", "tau_high", ...) over @p defaults;
+     *  validates registry names and policy consistency. */
+    static SchemeConfig fromConfig(const Config &cfg,
+                                   const SchemeConfig &defaults);
+    static SchemeConfig fromConfig(const Config &cfg);
+
+    /** Relative-key rendering; fromConfig(toConfig()) == *this. */
+    Config toConfig() const;
 };
 
 /** Full system configuration. */
@@ -73,8 +109,11 @@ struct SystemConfig
     double dram_gbps_per_core = 12.8;
     double core_ghz = 3.8;
 
-    L1Prefetcher l1_prefetcher = L1Prefetcher::Ipcp;
+    /** L1D prefetcher registry name ("" = none). */
+    std::string l1_prefetcher = "ipcp";
     unsigned l1_pf_table_scale = 0;     ///< Fig. 17 "+7KB IPCP/Berti"
+    /** L2 prefetcher registry name ("" = none). */
+    std::string l2_prefetcher = "spp";
     SchemeConfig scheme;
 
     Core::Params core;
@@ -88,6 +127,18 @@ struct SystemConfig
 
     /** Table III defaults. */
     static SystemConfig cascadeLake(unsigned cores = 1);
+
+    /**
+     * Build from a declarative Config: defaults are cascadeLake("cores"),
+     * the "scheme" key selects a SchemeConfig preset by name, and every
+     * other key overrides one field. Unknown keys and invalid values
+     * throw ConfigError naming the key and the valid choices.
+     */
+    static SystemConfig fromConfig(const Config &cfg);
+
+    /** Full dump of every tunable field; fromConfig(toConfig()) == *this
+     *  and serialize(toConfig()) is a complete, reparseable config file. */
+    Config toConfig() const;
 
     /** DRAM burst occupancy for the configured bandwidth. */
     unsigned burstCycles() const;

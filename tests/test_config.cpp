@@ -1,0 +1,274 @@
+/**
+ * The declarative configuration surface: Config parsing/serialization,
+ * SystemConfig::fromConfig/toConfig round trips for every shipped scheme
+ * preset, the configs/ preset files, error paths with actionable
+ * messages, and CLI-path vs bench-path design-point equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+using namespace tlpsim;
+
+// --- Config basics ----------------------------------------------------------
+
+TEST(Config, ParseAndTypedGetters)
+{
+    Config c = Config::parse("a = 1\n"
+                             "b.c = 2.5   # trailing comment\n"
+                             "\n"
+                             "# full-line comment\n"
+                             "d = true\n"
+                             "e = hello\n");
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_DOUBLE_EQ(c.getDouble("b.c", 0.0), 2.5);
+    EXPECT_TRUE(c.getBool("d", false));
+    EXPECT_EQ(c.getString("e"), "hello");
+    EXPECT_EQ(c.getInt("missing", 42), 42);
+    EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, SerializeRoundTrip)
+{
+    Config c;
+    c.set("x.y", 7);
+    c.set("x.z", true);
+    c.set("w", 12.8);
+    c.set("s", "spp");
+    EXPECT_EQ(Config::parse(c.serialize()), c);
+}
+
+TEST(Config, MergeLaterWins)
+{
+    Config base = Config::parse("a = 1\nb = 2\n");
+    base.merge(Config::parseAssignments("b=3, c=4"));
+    EXPECT_EQ(base.getInt("a", 0), 1);
+    EXPECT_EQ(base.getInt("b", 0), 3);
+    EXPECT_EQ(base.getInt("c", 0), 4);
+}
+
+TEST(Config, SubStripsPrefix)
+{
+    Config c = Config::parse("scheme.name = tlp\nscheme.tau_high = 9\n"
+                             "cores = 1\n");
+    Config s = c.sub("scheme");
+    EXPECT_EQ(s.getString("name"), "tlp");
+    EXPECT_EQ(s.getInt("tau_high", 0), 9);
+    EXPECT_FALSE(s.has("cores"));
+}
+
+TEST(Config, ParseErrorsNameTheLine)
+{
+    try {
+        Config::parse("a = 1\nwhat is this\n", "bad.conf");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad.conf:2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Config, BadValueErrorsNameKeyAndValue)
+{
+    Config c = Config::parse("cores = banana\n");
+    try {
+        c.getUnsigned("cores", 1);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("cores"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+    }
+}
+
+// --- scheme presets ---------------------------------------------------------
+
+TEST(SchemeConfig, ElevenShippedPresets)
+{
+    EXPECT_EQ(SchemeConfig::names().size(), 11u);
+}
+
+TEST(SchemeConfig, FromNameMatchesDeprecatedAccessors)
+{
+    EXPECT_EQ(SchemeConfig::fromName("tlp"), SchemeConfig::tlp());
+    EXPECT_EQ(SchemeConfig::fromName("baseline"), SchemeConfig::baseline());
+    EXPECT_EQ(SchemeConfig::fromName("hermes+ppf"),
+              SchemeConfig::hermesPpf());
+    EXPECT_EQ(SchemeConfig::fromName("delayed_tsp"),
+              SchemeConfig::delayedTsp());
+}
+
+TEST(SchemeConfig, UnknownNameListsValidNames)
+{
+    try {
+        SchemeConfig::fromName("nope");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("nope"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("tlp"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("hermes+ppf"), std::string::npos) << msg;
+    }
+}
+
+// The satellite requirement: parse -> SystemConfig -> toConfig -> parse is
+// the identity for every shipped scheme.
+TEST(SystemConfig, RoundTripsEveryScheme)
+{
+    for (const std::string &name : SchemeConfig::names()) {
+        SystemConfig cfg = SystemConfig::cascadeLake(1);
+        cfg.scheme = SchemeConfig::fromName(name);
+
+        Config dumped = cfg.toConfig();
+        Config reparsed = Config::parse(dumped.serialize(), name);
+        SystemConfig rebuilt = SystemConfig::fromConfig(reparsed);
+
+        EXPECT_EQ(rebuilt.toConfig(), dumped) << name;
+        EXPECT_EQ(rebuilt.scheme, cfg.scheme) << name;
+        EXPECT_EQ(rebuilt.l1_prefetcher, cfg.l1_prefetcher) << name;
+    }
+}
+
+TEST(SystemConfig, SchemeShorthandSelectsPreset)
+{
+    Config c = Config::parse("scheme = tlp\n");
+    EXPECT_EQ(SystemConfig::fromConfig(c).scheme, SchemeConfig::tlp());
+
+    // Explicit scheme.* keys override the preset.
+    Config c2 = Config::parse("scheme = tlp\nscheme.tau_high = 11\n");
+    SystemConfig cfg = SystemConfig::fromConfig(c2);
+    EXPECT_EQ(cfg.scheme.tau_high, 11);
+    EXPECT_EQ(cfg.scheme.offchip, "flp");
+}
+
+TEST(SystemConfig, MultiCoreDefaultsFollowCores)
+{
+    SystemConfig c = SystemConfig::fromConfig(Config::parse("cores = 4\n"));
+    EXPECT_EQ(c.num_cores, 4u);
+    EXPECT_DOUBLE_EQ(c.dram_gbps_per_core, 3.2);
+}
+
+// Every configs/*.conf preset file must build the same SchemeConfig as the
+// in-code preset of the same name, so the shipped files can never rot.
+TEST(SystemConfig, ShippedPresetFilesMatchCodePresets)
+{
+    for (const std::string &name : SchemeConfig::names()) {
+        std::string path
+            = std::string(TLPSIM_CONFIGS_DIR) + "/" + name + ".conf";
+        SystemConfig cfg = SystemConfig::fromConfig(Config::parseFile(path));
+        EXPECT_EQ(cfg.scheme, SchemeConfig::fromName(name)) << path;
+    }
+}
+
+// --- error paths ------------------------------------------------------------
+
+TEST(SystemConfig, UnknownKeyListsNearbyKeys)
+{
+    try {
+        SystemConfig::fromConfig(Config::parse("scheme.bogus = 1\n"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("scheme.bogus"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("scheme.name"), std::string::npos) << msg;
+    }
+}
+
+TEST(SystemConfig, UnknownTopLevelKeyListsValidKeys)
+{
+    try {
+        SystemConfig::fromConfig(Config::parse("bogus_key = 1\n"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("bogus_key"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("valid keys"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("warmup_instrs"), std::string::npos) << msg;
+    }
+}
+
+TEST(SystemConfig, UnknownPrefetcherListsRegistryNames)
+{
+    try {
+        SystemConfig::fromConfig(Config::parse("l1d.prefetcher = fancy\n"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("fancy"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("ipcp"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("berti"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("next_line"), std::string::npos) << msg;
+    }
+}
+
+TEST(SystemConfig, UnknownOffchipPredictorListsRegistryNames)
+{
+    Config c = Config::parse("scheme.offchip = athena\n"
+                             "scheme.offchip_policy = immediate\n");
+    try {
+        SystemConfig::fromConfig(c);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("athena"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("flp"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("hermes"), std::string::npos) << msg;
+    }
+}
+
+TEST(SystemConfig, OffchipNameWithoutPolicyIsRejected)
+{
+    EXPECT_THROW(
+        SystemConfig::fromConfig(Config::parse("scheme.offchip = flp\n")),
+        ConfigError);
+    EXPECT_THROW(SystemConfig::fromConfig(
+                     Config::parse("scheme.offchip_policy = selective\n")),
+                 ConfigError);
+}
+
+TEST(SystemConfig, BadPolicyListsValidPolicies)
+{
+    Config c = Config::parse("scheme.offchip = flp\n"
+                             "scheme.offchip_policy = sometimes\n");
+    try {
+        SystemConfig::fromConfig(c);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("sometimes"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("selective"), std::string::npos) << msg;
+    }
+}
+
+// --- CLI path == bench path -------------------------------------------------
+
+// The acceptance criterion: a design point built from a shipped preset
+// file (the tlpsim CLI path) is the *same* design point as one built in
+// code the way the benches do it — byte-identical config fingerprint, so
+// the Runner memoizes them as one simulation and every table row matches.
+TEST(SystemConfig, PresetFileDesignPointMatchesBenchPath)
+{
+    Config file_cfg = Config::parseFile(std::string(TLPSIM_CONFIGS_DIR)
+                                        + "/tlp.conf");
+    file_cfg.merge(
+        Config::parseAssignments("warmup_instrs=2000, sim_instrs=6000"));
+    SystemConfig cli_path = SystemConfig::fromConfig(file_cfg);
+
+    SystemConfig bench_path = SystemConfig::cascadeLake(1);
+    bench_path.warmup_instrs = 2'000;
+    bench_path.sim_instrs = 6'000;
+    bench_path.scheme = SchemeConfig::tlp();
+
+    EXPECT_EQ(experiment::configKey(cli_path),
+              experiment::configKey(bench_path));
+
+    // And the design point actually runs end to end.
+    auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    SimResult r = experiment::runSingleCore(ws.front(), cli_path);
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_EQ(r.scheme, "tlp");
+}

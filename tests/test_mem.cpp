@@ -385,8 +385,12 @@ TEST(Cache, DelayedSpecIssuedOnFlaggedLoadMiss)
     Cache::Params p = smallCache();
     p.spec_dram = &dram;
     p.spec_latency = 6;
-    int oracle_calls = 0;
-    p.on_spec_issued = [&](const Packet &) { ++oracle_calls; };
+    struct CountingObserver : SpecIssueObserver
+    {
+        int calls = 0;
+        void onSpecIssued(const Packet &) override { ++calls; }
+    } observer;
+    p.spec_observer = &observer;
     Cache c(p, &lower, &stats);
     MockClient client;
 
@@ -396,7 +400,7 @@ TEST(Cache, DelayedSpecIssuedOnFlaggedLoadMiss)
     runFor(0, 60, c, lower, dram);
     EXPECT_EQ(stats.get("c.spec_delayed_issued"), 1u);
     EXPECT_EQ(stats.get("dram.spec_issued"), 1u);
-    EXPECT_EQ(oracle_calls, 1);
+    EXPECT_EQ(observer.calls, 1);
 
     // A flagged load that *hits* must not trigger speculation.
     Packet ld2 = makeLoad(0x1000, &client, 70);
