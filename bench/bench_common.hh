@@ -60,6 +60,16 @@ benchWorkloads()
     return workloads::singleCoreWorkloads(workloads::setSizeFromEnv());
 }
 
+/** The shared multi-core mix set (Figs. 3/13/15/16): the paper's recipe
+ *  over the bench workload set, fixed seed so every mix bench and the
+ *  tlpsim CLI agree on what "the mixes" are. */
+inline std::vector<workloads::Mix>
+benchMixSet(const std::vector<workloads::WorkloadSpec> &ws,
+            int mixes_per_suite = benchMixes(), unsigned cores = 4)
+{
+    return workloads::makeMixes(ws, mixes_per_suite, 1234, cores);
+}
+
 /**
  * The one place bench scale knobs are applied: Table III system for
  * @p cores with the bench warmup/instruction counts, an L1D prefetcher
@@ -144,6 +154,18 @@ prewarmMixSingles(const std::vector<workloads::WorkloadSpec> &all,
             experiment::defaultRunner().submitSingle(
                 all[static_cast<std::size_t>(idx)], sc_cfg);
     }
+}
+
+/** Isolated per-slot IPCs of @p mix under @p sc_cfg — the denominator of
+ *  the paper's weighted-speedup metric (§V-D). */
+inline std::vector<double>
+mixSingleIpcs(const std::vector<workloads::WorkloadSpec> &all,
+              const workloads::Mix &mix, const SystemConfig &sc_cfg)
+{
+    std::vector<double> out;
+    for (int idx : mix.workload_index)
+        out.push_back(run(all[static_cast<std::size_t>(idx)], sc_cfg).ipc[0]);
+    return out;
 }
 
 /** Per-suite + overall geometric-mean summary of per-workload percents. */

@@ -16,7 +16,7 @@ main()
                 "Fig. 3 (ΔDRAM txns, multi-core)");
 
     auto ws = benchWorkloads();
-    auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
+    auto mixes = benchMixSet(ws);
     SystemConfig base_cfg = benchConfigMc();
     SystemConfig hermes_cfg = benchConfigMc("ipcp",
                                             SchemeConfig::hermes());

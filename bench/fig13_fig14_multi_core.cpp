@@ -26,15 +26,6 @@ evaluatePrefetcher(const std::vector<workloads::WorkloadSpec> &ws,
     SystemConfig mc_base = benchConfigMc(pf);
     SystemConfig sc_base = benchConfig(pf);
 
-    // Isolated IPCs for the weighted-speedup denominator.
-    auto ipc_single = [&](const workloads::Mix &mix) {
-        std::vector<double> out;
-        for (int idx : mix.workload_index)
-            out.push_back(
-                run(ws[static_cast<std::size_t>(idx)], sc_base).ipc[0]);
-        return out;
-    };
-
     TablePrinter tp({"mix", "suite", "ppf", "hermes", "hermes+ppf",
                      "tlp"}, 16);
     tp.printHeader(std::string("Figure 13") + tag
@@ -44,7 +35,7 @@ evaluatePrefetcher(const std::vector<workloads::WorkloadSpec> &ws,
 
     for (const auto &mix : mixes) {
         const SimResult &b = runMixCached(ws, mix, mc_base);
-        auto singles = ipc_single(mix);
+        auto singles = mixSingleIpcs(ws, mix, sc_base);
         std::vector<std::string> row{mix.name, toString(mix.suite)};
         for (const auto &s : schemes) {
             const SimResult &r = runMixCached(ws, mix,
@@ -89,7 +80,7 @@ main()
                 "(a)=IPCP, (b)=Berti");
 
     auto ws = benchWorkloads();
-    auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
+    auto mixes = benchMixSet(ws);
     // Queue both prefetchers' full grids before rendering anything.
     for (const char *pf : {"ipcp", "berti"}) {
         std::vector<SystemConfig> grid{benchConfigMc(pf)};

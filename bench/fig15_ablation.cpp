@@ -17,7 +17,7 @@ main()
                 "TLP, 4-core, IPCP)");
 
     auto ws = benchWorkloads();
-    auto mixes = workloads::makeMixes(ws, benchMixes(), 1234);
+    auto mixes = benchMixSet(ws);
     auto schemes = SchemeConfig::ablationSchemes();
     SystemConfig mc_base = benchConfigMc();
     SystemConfig sc_base = benchConfig();
@@ -36,11 +36,7 @@ main()
         std::vector<double> dram;
         for (const auto &mix : mixes) {
             const SimResult &b = runMixCached(ws, mix, mc_base);
-            std::vector<double> singles;
-            for (int idx : mix.workload_index)
-                singles.push_back(
-                    run(ws[static_cast<std::size_t>(idx)], sc_base)
-                        .ipc[0]);
+            auto singles = mixSingleIpcs(ws, mix, sc_base);
             const SimResult &r = runMixCached(
                 ws, mix, benchConfigMc("ipcp", s));
             summary.add(mix.suite,

@@ -21,7 +21,7 @@ main()
     // Bandwidth sweeps are 5x the simulations of the other multi-core
     // figures; use half the mixes by default.
     int mix_count = std::max(1, benchMixes() / 2);
-    auto mixes = workloads::makeMixes(ws, mix_count, 1234);
+    auto mixes = benchMixSet(ws, mix_count);
     auto schemes = SchemeConfig::paperSchemes();
 
     std::vector<SystemConfig> grid;
@@ -60,11 +60,7 @@ main()
             mc_scheme.dram_gbps_per_core = gbps;
             for (const auto &mix : mixes) {
                 const SimResult &b = runMixCached(ws, mix, mc_base);
-                std::vector<double> singles;
-                for (int idx : mix.workload_index)
-                    singles.push_back(
-                        run(ws[static_cast<std::size_t>(idx)], sc_base)
-                            .ipc[0]);
+                auto singles = mixSingleIpcs(ws, mix, sc_base);
                 const SimResult &r = runMixCached(ws, mix, mc_scheme);
                 summary.add(mix.suite,
                             experiment::weightedSpeedupPct(r, b, singles));

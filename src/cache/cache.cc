@@ -292,8 +292,8 @@ Cache::notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
 
     for (const auto &cand : cand_buf_) {
         Addr pf_vaddr = cand.addr;
-        Addr pf_paddr = params_.translator
-            ? params_.translator(pkt.core, pf_vaddr)
+        Addr pf_paddr = params_.translator != nullptr
+            ? params_.translator->translate(pkt.core, pf_vaddr)
             : pf_vaddr;
         std::uint8_t fill_level = cand.fill_level;
         PredictionMeta meta;

@@ -18,7 +18,6 @@
 #define TLPSIM_CACHE_CACHE_HH
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,12 +31,24 @@ namespace tlpsim
 
 class DramController;
 
+/**
+ * Translates virtual prefetch candidates to physical addresses (L1D
+ * only). A direct virtual call, not std::function: the hook fires per
+ * prefetch candidate — the hottest translation path in the system — and
+ * one owner (the Simulator's page-table adapter) serves every core,
+ * dispatched on the core argument, mirroring SpecIssueObserver.
+ */
+class Translator
+{
+  public:
+    virtual ~Translator() = default;
+
+    virtual Addr translate(std::uint8_t core, Addr vaddr) = 0;
+};
+
 class Cache : public MemoryBackend, public MemoryClient
 {
   public:
-    /** Translates a virtual prefetch address (L1D only). */
-    using Translator = std::function<Addr(std::uint8_t core, Addr vaddr)>;
-
     struct Params
     {
         std::string name = "cache";
@@ -56,8 +67,9 @@ class Cache : public MemoryBackend, public MemoryClient
         /** Allow demand loads hitting here to serve (always true). */
         Prefetcher *prefetcher = nullptr;
         PrefetchFilter *filter = nullptr;
-        /** L1D only: translate virtual prefetch candidates. */
-        Translator translator;
+        /** L1D only: translate virtual prefetch candidates (direct
+         *  virtual call; hot path — see Translator). */
+        Translator *translator = nullptr;
         /** L1D only: DRAM controller for delayed FLP speculative reads. */
         DramController *spec_dram = nullptr;
         /** Extra cycles between miss detection and spec issue (paper: 6). */

@@ -2,9 +2,12 @@
  * @file
  * tlpsim — the unified design-point / sweep driver.
  *
- * Any single design point, or a full workloads × schemes sweep grid, runs
- * through the same Runner the figure benches use, so results are memoized
- * per design point and tables are bit-identical for any worker count.
+ * Any single design point, or a full workloads × schemes (single-core)
+ * or mixes × schemes (multi-core) sweep grid, runs through the same
+ * Runner the figure benches use, so results are memoized per design
+ * point and tables are bit-identical for any worker count. The whole
+ * grid is validated before the first simulation: every unknown scheme,
+ * workload, or mix entry is collected and reported in one error.
  *
  * Configuration precedence, lowest to highest:
  *   built-in Table III defaults  (SystemConfig::cascadeLake)
@@ -19,8 +22,10 @@
  * (--jobs overrides).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,10 +49,18 @@ design point:
                     scheme for each listed name; scheme.* keys from
                     --set/TLPSIM_CONF still override preset fields)
   --workload NAME   workload to simulate (repeatable; --sweep defaults to
-                    every workload of the TLPSIM_SET set)
+                    every workload of the TLPSIM_SET set; with --cores N
+                    it becomes an N-copy homogeneous mix)
+  --cores N         number of cores (shorthand for --set cores=N; defaults
+                    to the mix length when --mix is given)
+  --mix A,B,...     multi-core mix: one workload name per core, ','/'+'
+                    separated (repeatable; the config key "workload.mix"
+                    is equivalent)
 
-modes (default: run the configured workloads once):
-  --sweep           run the workloads x schemes grid through the parallel
+modes (default: run the configured workloads/mixes once):
+  --sweep           run the workloads x schemes grid — or, multi-core,
+                    the mixes x schemes grid (default mixes: TLPSIM_MIXES
+                    per suite, the Fig. 13 recipe) — through the parallel
                     Runner (default schemes: baseline + the four paper
                     schemes of Figs. 10-14)
   --print-config    print the effective full config and exit
@@ -70,6 +83,8 @@ struct Options
     std::vector<std::string> sets;
     std::vector<std::string> schemes;
     std::vector<std::string> workload_names;
+    std::vector<std::string> mixes;   ///< one "a,b,c,d" list per --mix
+    unsigned cores = 0;               ///< 0 = take from config / mix length
     bool sweep = false;
     bool print_config = false;
     bool describe = false;
@@ -85,6 +100,26 @@ usageError(const std::string &msg)
     std::fprintf(stderr, "tlpsim: %s\n(run tlpsim --help for usage)\n",
                  msg.c_str());
     std::exit(2);
+}
+
+/** Strictly "[1-9][0-9]*": no sign, no whitespace, no strtoul wrap of
+ *  negatives to huge unsigneds. Dies with a usage error otherwise. */
+unsigned
+parsePositive(const std::string &v, const char *flag)
+{
+    bool digits_only = !v.empty();
+    for (char ch : v) {
+        if (ch < '0' || ch > '9')
+            digits_only = false;
+    }
+    char *end = nullptr;
+    unsigned long parsed = digits_only ? std::strtoul(v.c_str(), &end, 10)
+                                       : 0;
+    if (!digits_only || parsed == 0
+        || parsed > std::numeric_limits<unsigned>::max())
+        usageError(std::string(flag) + " expects a positive integer, got '"
+                   + v + "'");
+    return static_cast<unsigned>(parsed);
 }
 
 Options
@@ -113,15 +148,15 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--workload") {
             o.workload_names.push_back(need_value(i, "--workload"));
             ++i;
-        } else if (arg == "--jobs") {
-            std::string v = need_value(i, "--jobs");
+        } else if (arg == "--mix") {
+            o.mixes.push_back(need_value(i, "--mix"));
             ++i;
-            char *end = nullptr;
-            unsigned long parsed = std::strtoul(v.c_str(), &end, 10);
-            if (end == v.c_str() || *end != '\0' || parsed == 0)
-                usageError("--jobs expects a positive integer, got '" + v
-                           + "'");
-            o.jobs = static_cast<unsigned>(parsed);
+        } else if (arg == "--cores") {
+            o.cores = parsePositive(need_value(i, "--cores"), "--cores");
+            ++i;
+        } else if (arg == "--jobs") {
+            o.jobs = parsePositive(need_value(i, "--jobs"), "--jobs");
+            ++i;
         } else if (arg == "--sweep") {
             o.sweep = true;
         } else if (arg == "--print-config") {
@@ -170,29 +205,42 @@ layeredConfig(const Options &o)
     return lc;
 }
 
-const workloads::WorkloadSpec &
-findWorkload(const std::vector<workloads::WorkloadSpec> &all,
-             const std::string &name)
+/** Split one --mix value ("a,b" / "a+b") into workload names. */
+std::vector<std::string>
+splitMixNames(const std::string &value)
 {
-    for (const auto &w : all) {
-        if (w.name == name)
-            return w;
-    }
-    std::vector<std::string> names;
-    for (const auto &w : all)
-        names.push_back(w.name);
-    throw ConfigError("unknown workload '" + name
-                      + "'; valid names (set TLPSIM_SET=tiny|small|full to "
-                        "change the set): "
-                      + joinNames(names));
+    Config c;
+    c.set("mix", value);
+    return c.getStringList("mix");
 }
 
-/** The canonical per-design-point row every mode prints. */
-TablePrinter
-resultTable()
+/** Reject every unknown scheme name at once, before anything runs. */
+void
+validateSchemeNames(const std::vector<std::string> &names)
 {
-    return TablePrinter({"workload", "scheme", "ipc", "l1d_mpki", "l2c_mpki",
-                         "llc_mpki", "dram_tx", "l1d_pf_acc"});
+    std::vector<std::string> valid = SchemeConfig::names();
+    std::vector<std::string> unknown;
+    for (const std::string &n : names) {
+        if (std::find(valid.begin(), valid.end(), n) == valid.end())
+            unknown.push_back(n);
+    }
+    if (!unknown.empty()) {
+        throw ConfigError("--scheme: unknown scheme"
+                          + std::string(unknown.size() > 1 ? "s " : " ")
+                          + joinNames(unknown)
+                          + "; valid names: " + joinNames(valid));
+    }
+}
+
+/** The canonical per-design-point row every mode prints. @p label_col is
+ *  "workload" for single-core tables, "mix" for multi-core ones (mix
+ *  names are wider, hence the wider column). */
+TablePrinter
+resultTable(const std::string &label_col = "workload",
+            unsigned col_width = 14)
+{
+    return TablePrinter({label_col, "scheme", "ipc", "l1d_mpki", "l2c_mpki",
+                         "llc_mpki", "dram_tx", "l1d_pf_acc"}, col_width);
 }
 
 void
@@ -234,20 +282,52 @@ run(const Options &o)
     }
 
     LayeredConfig lc = layeredConfig(o);
+
+    // Mix axis sources: --mix flags plus the workload.mix config key.
+    // "workload.*" keys are the workload axis, not SystemConfig fields;
+    // consume them before fromConfig rejects them as unknown.
+    std::vector<std::vector<std::string>> mix_names;
+    for (const std::string &value : o.mixes) {
+        std::vector<std::string> names = splitMixNames(value);
+        if (names.empty()) {
+            usageError("--mix expects workload names (',' or '+' "
+                       "separated, one per core), got '" + value + "'");
+        }
+        mix_names.push_back(std::move(names));
+    }
+    if (lc.merged.has("workload.mix")) {
+        // Consume the key even when its value is blank (a commented-out
+        // mix must not turn into an "unknown config key" complaint).
+        const auto config_mix = lc.merged.getStringList("workload.mix");
+        if (!config_mix.empty())
+            mix_names.push_back(config_mix);
+        lc.merged.erase("workload.mix");
+        lc.overrides.erase("workload.mix");
+    }
+
+    // Core-count precedence: --cores beats every config source; with
+    // neither set, an explicit mix implies one core per named workload.
+    if (o.cores != 0)
+        lc.merged.set("cores", o.cores);
+    else if (!lc.merged.has("cores") && !mix_names.empty())
+        lc.merged.set("cores", mix_names.front().size());
+
     SystemConfig base = SystemConfig::fromConfig(lc.merged);
 
     if (o.print_config) {
-        std::fputs(base.toConfig().serialize().c_str(), stdout);
+        Config dump = base.toConfig();
+        // The mix is config too: a saved --print-config dump must
+        // reproduce a single-mix design point, not just its system.
+        // (Several mixes are a sweep axis, like repeated --scheme, and
+        // have no config-key rendering.)
+        if (mix_names.size() == 1)
+            dump.set("workload.mix", mix_names.front());
+        std::fputs(dump.serialize().c_str(), stdout);
         return 0;
     }
     if (o.describe) {
         std::fputs(base.description().c_str(), stdout);
         return 0;
-    }
-    if (base.num_cores != 1) {
-        throw ConfigError(
-            "the tlpsim CLI drives single-core design points (cores = 1); "
-            "multi-core mixes run via the fig13/fig15/fig16 benches");
     }
 
     // Scheme axis: explicit --scheme list, else the config's scheme for a
@@ -255,6 +335,7 @@ run(const Options &o)
     // scheme.* keys from --set / TLPSIM_CONF override every selected
     // preset's fields (config-file scheme.* keys shape the file's own
     // scheme only, applied through `base` above).
+    validateSchemeNames(o.schemes);
     const Config scheme_overrides = lc.overrides.sub("scheme");
     auto with_overrides = [&scheme_overrides](const SchemeConfig &preset) {
         return SchemeConfig::fromConfig(scheme_overrides, preset);
@@ -271,19 +352,6 @@ run(const Options &o)
         schemes.push_back(base.scheme);
     }
 
-    // Workload axis: explicit names, else (sweep only) the whole set.
-    std::vector<workloads::WorkloadSpec> selected;
-    if (!o.workload_names.empty()) {
-        for (const std::string &name : o.workload_names)
-            selected.push_back(findWorkload(all_workloads, name));
-    } else if (o.sweep) {
-        selected = all_workloads;
-    } else {
-        throw ConfigError("no workload selected: pass --workload NAME "
-                          "(repeatable) or --sweep; --list-workloads shows "
-                          "the choices");
-    }
-
     std::vector<SystemConfig> grid;
     for (const SchemeConfig &s : schemes) {
         SystemConfig cfg = base;
@@ -292,24 +360,123 @@ run(const Options &o)
     }
 
     Runner runner(o.jobs == 0 ? jobsFromEnv() : o.jobs);
+
+    const bool multi_core = base.num_cores > 1 || !mix_names.empty();
+    if (!multi_core) {
+        // Workload axis: explicit names, else (sweep only) the whole
+        // set. All names resolve — or fail together — before anything
+        // is submitted.
+        std::vector<workloads::WorkloadSpec> selected;
+        if (!o.workload_names.empty()) {
+            for (int idx : workloads::resolveWorkloadIndices(
+                     all_workloads, o.workload_names, "--workload")) {
+                selected.push_back(
+                    all_workloads[static_cast<std::size_t>(idx)]);
+            }
+        } else if (o.sweep) {
+            selected = all_workloads;
+        } else {
+            throw ConfigError("no workload selected: pass --workload NAME "
+                              "(repeatable) or --sweep; --list-workloads "
+                              "shows the choices");
+        }
+
+        std::fprintf(stderr,
+                     "[tlpsim] %zu workload(s) x %zu scheme(s), "
+                     "warmup=%llu sim=%llu, jobs=%u\n",
+                     selected.size(), grid.size(),
+                     static_cast<unsigned long long>(base.warmup_instrs),
+                     static_cast<unsigned long long>(base.sim_instrs),
+                     runner.jobs());
+        // Submit the full grid up front; render in deterministic order.
+        for (const auto &cfg : grid) {
+            for (const auto &w : selected)
+                runner.submitSingle(w, cfg);
+        }
+
+        TablePrinter tp = resultTable();
+        tp.printHeader(o.sweep ? "tlpsim sweep" : "tlpsim run");
+        for (const auto &w : selected) {
+            for (const auto &cfg : grid)
+                printResultRow(tp, w.name, runner.single(w, cfg));
+        }
+        return 0;
+    }
+
+    // ---- multi-core: the mixes x schemes grid --------------------------
+    // Validate the whole mix axis in one pass: every workload name of
+    // every mix resolves, or the union of unknown names is reported in a
+    // single error before any simulation starts.
+    std::vector<workloads::Mix> mixes;
+    if (!mix_names.empty()) {
+        std::vector<std::string> every_name;
+        for (const auto &names : mix_names)
+            every_name.insert(every_name.end(), names.begin(), names.end());
+        workloads::resolveWorkloadIndices(all_workloads, every_name,
+                                          "--mix / workload.mix");
+        for (const auto &names : mix_names) {
+            mixes.push_back(workloads::mixFromNames(all_workloads, names,
+                                                    "--mix"));
+        }
+        std::vector<std::string> wrong_width;
+        for (const auto &mix : mixes) {
+            if (mix.cores() != base.num_cores)
+                wrong_width.push_back(mix.name + " ("
+                                      + std::to_string(mix.cores()) + ")");
+        }
+        if (!wrong_width.empty()) {
+            throw ConfigError(
+                "cores = " + std::to_string(base.num_cores)
+                + " but these mixes have a different width: "
+                + joinNames(wrong_width)
+                + " (one workload per core; adjust --cores or the mix)");
+        }
+    }
+    if (!o.workload_names.empty()) {
+        // A bare workload name on N cores is the N-copy homogeneous mix;
+        // --workload and --mix union into one mix axis, no flag is
+        // silently dropped.
+        for (int idx : workloads::resolveWorkloadIndices(
+                 all_workloads, o.workload_names, "--workload")) {
+            workloads::Mix mix;
+            const auto &w = all_workloads[static_cast<std::size_t>(idx)];
+            mix.name = "homo." + w.name;
+            mix.suite = w.suite;
+            mix.homogeneous = true;
+            mix.workload_index.assign(base.num_cores, idx);
+            mixes.push_back(std::move(mix));
+        }
+    }
+    if (mixes.empty() && o.sweep) {
+        // The Fig. 13 recipe at the configured width: TLPSIM_MIXES per
+        // suite, half homogeneous, seeded — and defaulted — like the
+        // benches (bench_common.hh), so "the mixes" agree everywhere.
+        mixes = workloads::makeMixes(all_workloads, envMixes(2), 1234,
+                                     base.num_cores);
+    } else if (mixes.empty()) {
+        throw ConfigError("no mix selected: pass --mix A,B,... or "
+                          "--workload NAME (an N-copy homogeneous mix) "
+                          "or --sweep for the generated mix set");
+    }
+
     std::fprintf(stderr,
-                 "[tlpsim] %zu workload(s) x %zu scheme(s), "
+                 "[tlpsim] %zu mix(es) x %zu scheme(s) on %u cores, "
                  "warmup=%llu sim=%llu, jobs=%u\n",
-                 selected.size(), grid.size(),
+                 mixes.size(), grid.size(), base.num_cores,
                  static_cast<unsigned long long>(base.warmup_instrs),
                  static_cast<unsigned long long>(base.sim_instrs),
                  runner.jobs());
-    // Submit the full grid up front; render in deterministic order.
     for (const auto &cfg : grid) {
-        for (const auto &w : selected)
-            runner.submitSingle(w, cfg);
+        for (const auto &mix : mixes)
+            runner.submitMix(all_workloads, mix, cfg);
     }
 
-    TablePrinter tp = resultTable();
-    tp.printHeader(o.sweep ? "tlpsim sweep" : "tlpsim run");
-    for (const auto &w : selected) {
+    TablePrinter tp = resultTable("mix", 22);
+    tp.printHeader(o.sweep ? "tlpsim mix sweep" : "tlpsim mix run");
+    for (const auto &mix : mixes) {
         for (const auto &cfg : grid)
-            printResultRow(tp, w.name, runner.single(w, cfg));
+            printResultRow(tp, mix.name, runner.mix(all_workloads, mix,
+                                                    cfg));
     }
     return 0;
 }

@@ -74,6 +74,12 @@ Config::set(const std::string &key, double value)
 }
 
 void
+Config::set(const std::string &key, const std::vector<std::string> &value)
+{
+    values_[key] = joinNames(value);
+}
+
+void
 Config::setInt(const std::string &key, std::int64_t value)
 {
     values_[key] = std::to_string(value);
@@ -194,6 +200,33 @@ Config::getBool(const std::string &key, bool fallback) const
     if (v == "false" || v == "0" || v == "no" || v == "off")
         return false;
     badValue(key, v, "a boolean (true/false/1/0/yes/no/on/off)");
+}
+
+std::vector<std::string>
+Config::getStringList(const std::string &key,
+                      const std::vector<std::string> &fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    std::vector<std::string> out;
+    std::string item;
+    auto flush = [&] {
+        if (!item.empty()) {
+            out.push_back(std::move(item));
+            item.clear();
+        }
+    };
+    for (char ch : it->second) {
+        if (ch == ',' || ch == '+'
+            || std::isspace(static_cast<unsigned char>(ch))) {
+            flush();
+        } else {
+            item += ch;
+        }
+    }
+    flush();
+    return out;
 }
 
 Config

@@ -47,6 +47,8 @@ class Config
     void set(const std::string &key, const char *value);
     void set(const std::string &key, bool value);
     void set(const std::string &key, double value);
+    /** List-valued key, rendered "a, b, c" (see getStringList). */
+    void set(const std::string &key, const std::vector<std::string> &value);
     /** Any integral type. */
     template <typename T,
               typename = std::enable_if_t<std::is_integral_v<T>>>
@@ -84,6 +86,18 @@ class Config
                                 std::uint32_t fallback) const;
     double getDouble(const std::string &key, double fallback) const;
     bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * List-valued key: the value split on ',', '+', or whitespace, empty
+     * items dropped. ',' reads naturally in config files
+     * ("workload.mix = bfs.kron, mcf_pchase"); '+' survives the
+     * assignment syntax of TLPSIM_CONF / --set, where ',' already
+     * separates assignments ("workload.mix=bfs.kron+mcf_pchase").
+     * Returns @p fallback when the key is absent.
+     */
+    std::vector<std::string>
+    getStringList(const std::string &key,
+                  const std::vector<std::string> &fallback = {}) const;
 
     /** Sub-config of every key under "prefix." with the prefix stripped. */
     Config sub(const std::string &prefix) const;

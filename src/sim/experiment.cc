@@ -158,7 +158,16 @@ SimResult
 runMix(const std::vector<workloads::WorkloadSpec> &workloads,
        const workloads::Mix &mix, SystemConfig cfg)
 {
-    cfg.num_cores = 4;
+    // The shared LLC, DRAM bandwidth, and queue depths are all sized
+    // from num_cores, so a mix that doesn't occupy every core is a
+    // config error — surfaced here with the mix named, before any trace
+    // is recorded (the Simulator ctor would also catch it, namelessly).
+    if (mix.cores() != cfg.num_cores) {
+        throw ConfigError(
+            "mix '" + mix.name + "' names " + std::to_string(mix.cores())
+            + " workload(s) but cores = " + std::to_string(cfg.num_cores)
+            + "; a mix needs exactly one workload per core");
+    }
     std::vector<const Trace *> traces;
     for (int idx : mix.workload_index) {
         traces.push_back(&cachedTrace(workloads[static_cast<size_t>(idx)],

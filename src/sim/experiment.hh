@@ -38,7 +38,8 @@ void clearTraceCache();
 SimResult runSingleCore(const workloads::WorkloadSpec &workload,
                         SystemConfig cfg);
 
-/** Run a 4-core mix. */
+/** Run a multi-core mix (one workload per core; mix length must equal
+ *  cfg.num_cores or a ConfigError names the offending mix). */
 SimResult runMix(const std::vector<workloads::WorkloadSpec> &workloads,
                  const workloads::Mix &mix, SystemConfig cfg);
 

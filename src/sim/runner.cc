@@ -168,7 +168,8 @@ singleKey(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 std::string
 mixKey(const workloads::Mix &mix, const SystemConfig &cfg)
 {
-    return "4c|" + mix.name + "|" + configKey(cfg);
+    return std::to_string(mix.cores()) + "c|" + mix.name + "|"
+        + configKey(cfg);
 }
 
 } // namespace
@@ -195,7 +196,7 @@ Runner::submitMix(const std::vector<workloads::WorkloadSpec> &all,
                   const workloads::Mix &mix, const SystemConfig &cfg)
 {
     submit(mixKey(mix, cfg), [all, mix, cfg] {
-        logSim("4c", mix.name, cfg);
+        logSim((std::to_string(mix.cores()) + "c").c_str(), mix.name, cfg);
         return runMix(all, mix, cfg);
     });
 }

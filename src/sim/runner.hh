@@ -90,7 +90,7 @@ class Runner
     const SimResult &single(const workloads::WorkloadSpec &w,
                             const SystemConfig &cfg);
 
-    /** Queue a 4-core mix simulation. */
+    /** Queue a multi-core mix simulation (cfg.num_cores cores). */
     void submitMix(const std::vector<workloads::WorkloadSpec> &all,
                    const workloads::Mix &mix, const SystemConfig &cfg);
 

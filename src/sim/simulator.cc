@@ -1,6 +1,6 @@
 #include "sim/simulator.hh"
 
-#include <cassert>
+#include <algorithm>
 
 #include "offchip/slp.hh"
 
@@ -41,6 +41,33 @@ struct Simulator::OracleProbe : SpecIssueObserver
     Counter *in_dram_;
 };
 
+/** One page-table adapter serves all cores; the core id is the address
+ *  space id (asid), exactly as the per-core lambdas used to capture it. */
+struct Simulator::PrefetchTranslator : Translator
+{
+    explicit PrefetchTranslator(PageTable &pt) : pt_(pt) {}
+
+    Addr
+    translate(std::uint8_t core, Addr vaddr) override
+    {
+        return pt_.translate(core, vaddr);
+    }
+
+  private:
+    PageTable &pt_;
+};
+
+InstrCount
+SimResult::totalInstrs() const
+{
+    if (instrs.empty())
+        return sim_instrs * num_cores;
+    InstrCount total = 0;
+    for (InstrCount n : instrs)
+        total += n;
+    return total;
+}
+
 std::uint64_t
 SimResult::sumOverCores(const std::string &suffix) const
 {
@@ -58,8 +85,7 @@ SimResult::mpki(const std::string &cache) const
         ? stat("llc.load_miss") + stat("llc.rfo_miss")
         : sumOverCores(cache + ".load_miss")
             + sumOverCores(cache + ".rfo_miss");
-    double kilo_instr
-        = static_cast<double>(sim_instrs) * num_cores / 1000.0;
+    double kilo_instr = static_cast<double>(totalInstrs()) / 1000.0;
     return kilo_instr == 0.0 ? 0.0 : static_cast<double>(misses) / kilo_instr;
 }
 
@@ -74,8 +100,7 @@ SimResult::l1dPrefetchAccuracy() const
 double
 SimResult::ppki(const std::string &counter_suffix) const
 {
-    double kilo_instr
-        = static_cast<double>(sim_instrs) * num_cores / 1000.0;
+    double kilo_instr = static_cast<double>(totalInstrs()) / 1000.0;
     return kilo_instr == 0.0
         ? 0.0
         : static_cast<double>(sumOverCores(counter_suffix)) / kilo_instr;
@@ -94,7 +119,16 @@ Simulator::Simulator(const SystemConfig &cfg,
                      std::vector<const Trace *> traces)
     : cfg_(cfg), traces_(std::move(traces)), stats_("sim")
 {
-    assert(traces_.size() == cfg_.num_cores);
+    // A config error, not an assert: the shared LLC and DRAM are sized
+    // from num_cores, so silently reusing or dropping traces would skew
+    // every multi-core metric — and asserts vanish in Release builds.
+    if (traces_.size() != cfg_.num_cores) {
+        throw ConfigError(
+            "cores = " + std::to_string(cfg_.num_cores) + " but "
+            + std::to_string(traces_.size())
+            + " trace(s) supplied: a multi-core mix needs exactly one "
+              "workload per core (adjust 'cores' or the mix)");
+    }
     build();
 }
 
@@ -106,6 +140,7 @@ Simulator::build()
     const unsigned n = cfg_.num_cores;
 
     oracle_ = std::make_unique<OracleProbe>(*this, stats_);
+    translator_ = std::make_unique<PrefetchTranslator>(page_table_);
 
     DramController::Params dp = cfg_.dram;
     dp.burst_cycles = cfg_.burstCycles();
@@ -126,8 +161,10 @@ Simulator::build()
         const SchemeConfig &sch = cfg_.scheme;
 
         // Components are built through the string-keyed registries: the
-        // scheme names what is deployed, the Config subtree carries its
-        // tuning, and new backends drop in via registration alone.
+        // scheme names what is deployed, the named knobs supply the
+        // paper's tuning, and the per-component subtree (scheme.offchip.*
+        // et al.) overlays arbitrary builder-defined keys on top — so
+        // new backends drop in via registration plus config alone.
         if (sch.hasOffchip()) {
             Config oc;
             oc.set("name", cpu + ".flp");
@@ -136,6 +173,7 @@ Simulator::build()
             oc.set("tau_low", sch.tau_low);
             oc.set("training_threshold", sch.offchip_training_threshold);
             oc.set("table_scale_shift", sch.offchip_table_scale);
+            oc.merge(sch.offchip_params);
             offchip_.push_back(
                 offchipRegistry().build(sch.offchip, oc, &stats_));
         } else {
@@ -147,6 +185,7 @@ Simulator::build()
             fc.set("name", cpu + "." + sch.l1_filter);
             fc.set("tau_pref", sch.slp_tau_pref);
             fc.set("use_flp_feature", sch.slp_flp_feature);
+            fc.merge(sch.l1_filter_params);
             l1_filter_.push_back(
                 filterRegistry().build(sch.l1_filter, fc, &stats_));
         } else {
@@ -156,6 +195,7 @@ Simulator::build()
         if (sch.hasL2Filter()) {
             Config fc;
             fc.set("name", cpu + "." + sch.l2_filter);
+            fc.merge(sch.l2_filter_params);
             l2_filter_.push_back(
                 filterRegistry().build(sch.l2_filter, fc, &stats_));
         } else {
@@ -165,6 +205,7 @@ Simulator::build()
         if (!cfg_.l1_prefetcher.empty()) {
             Config pc;
             pc.set("table_scale_shift", cfg_.l1_pf_table_scale);
+            pc.merge(cfg_.l1_pf_params);
             l1_pf_.push_back(
                 prefetcherRegistry().build(cfg_.l1_prefetcher, pc));
         } else {
@@ -176,6 +217,7 @@ Simulator::build()
             // the L2 prefetcher runs aggressive and lets the filter prune.
             Config pc;
             pc.set("aggressive", sch.hasL2Filter());
+            pc.merge(cfg_.l2_pf_params);
             l2_pf_.push_back(
                 prefetcherRegistry().build(cfg_.l2_prefetcher, pc));
         } else {
@@ -192,9 +234,7 @@ Simulator::build()
         p1.name = cpu + ".l1d";
         p1.prefetcher = l1_pf_.back().get();
         p1.filter = l1_filter_.back().get();
-        p1.translator = [this, c](std::uint8_t, Addr vaddr) {
-            return page_table_.translate(c, vaddr);
-        };
+        p1.translator = translator_.get();
         // The delayed speculative path exists for FLP-style policies.
         if (sch.offchip_policy == OffchipPolicy::Selective
             || sch.offchip_policy == OffchipPolicy::AlwaysDelay) {
@@ -261,13 +301,17 @@ Simulator::run()
     const unsigned n = cfg_.num_cores;
     const InstrCount warmup = cfg_.warmup_instrs;
     const InstrCount target = cfg_.warmup_instrs + cfg_.sim_instrs;
-    // Generous bound: IPC floor of 1/400 before we declare a hang.
-    const Cycle cap = static_cast<Cycle>(target) * 400 + 100'000;
+    // Configured hard cap, or the generous automatic hang bound: an IPC
+    // floor of 1/400 before we declare the simulation stuck.
+    const Cycle cap = cfg_.max_cycles != 0
+        ? cfg_.max_cycles
+        : static_cast<Cycle>(target) * 400 + 100'000;
 
     SimResult res;
     res.scheme = cfg_.scheme.name;
     res.num_cores = n;
     res.sim_instrs = cfg_.sim_instrs;
+    res.instrs.assign(n, 0);
     res.ipc.assign(n, 0.0);
     res.cycles.assign(n, 0);
 
@@ -284,6 +328,11 @@ Simulator::run()
 
     stats_.resetAll();
     Cycle measure_start = cycle_;
+    // Fast cores overshoot warmup while waiting on slow ones; what they
+    // retire from here on is what the measurement window actually holds.
+    std::vector<InstrCount> retired_at_start(n, 0);
+    for (unsigned c = 0; c < n; ++c)
+        retired_at_start[c] = cores_[c]->retired();
     std::vector<Cycle> finish(n, 0);
     std::vector<bool> done(n, false);
     unsigned remaining = n;
@@ -303,9 +352,19 @@ Simulator::run()
     for (unsigned c = 0; c < n; ++c) {
         Cycle fc = done[c] ? finish[c] : cycle_;
         res.cycles[c] = fc - measure_start;
+        // Finished cores report the nominal per-core quota (their window
+        // closes the cycle they reach `target`); cores cut off by the
+        // cap report what they actually retired — dividing a truncated
+        // run by the nominal sim_instrs silently deflated every
+        // per-instruction metric of exactly the runs that hit the cap.
+        res.instrs[c] = done[c]
+            ? cfg_.sim_instrs
+            : std::min<InstrCount>(
+                  cores_[c]->retired() - retired_at_start[c],
+                  cfg_.sim_instrs);
         res.ipc[c] = res.cycles[c] == 0
             ? 0.0
-            : static_cast<double>(cfg_.sim_instrs)
+            : static_cast<double>(res.instrs[c])
                 / static_cast<double>(res.cycles[c]);
     }
     for (auto &[name, value] : stats_.dump())

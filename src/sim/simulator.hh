@@ -31,11 +31,21 @@ struct SimResult
 {
     std::string scheme;
     unsigned num_cores = 0;
-    InstrCount sim_instrs = 0;              ///< per core
+    InstrCount sim_instrs = 0;              ///< per core, nominal target
+    /** Per core: instructions actually retired during measurement. Equal
+     *  to sim_instrs for cores that reached their target; smaller for
+     *  cores cut off by the cycle cap. Every per-instruction metric
+     *  below divides by these, not the nominal target, so a capped run
+     *  reports its true rates instead of silently deflated ones. */
+    std::vector<InstrCount> instrs;
     std::vector<double> ipc;                ///< per core, measurement phase
     std::vector<Cycle> cycles;              ///< per core measurement cycles
     bool hit_cycle_cap = false;
     std::map<std::string, std::uint64_t> stats;
+
+    /** Measured instructions summed over cores (nominal if pre-instrs
+     *  results are mixed in, e.g. hand-built SimResults in tests). */
+    InstrCount totalInstrs() const;
 
     std::uint64_t
     stat(const std::string &name) const
@@ -99,6 +109,11 @@ class Simulator
      *  virtual call (no std::function on the hot path). */
     struct OracleProbe;
 
+    /** Adapts the page table to the Cache::Translator interface: one
+     *  shared instance translates every core's prefetch candidates (the
+     *  last std::function on the hot path, now a direct virtual call). */
+    struct PrefetchTranslator;
+
     void build();
 
     SystemConfig cfg_;
@@ -108,6 +123,7 @@ class Simulator
 
     PageTable page_table_;
     std::unique_ptr<OracleProbe> oracle_;
+    std::unique_ptr<PrefetchTranslator> translator_;
     std::unique_ptr<DramController> dram_;
     std::unique_ptr<Cache> llc_;
     std::vector<std::unique_ptr<Cache>> l2_;

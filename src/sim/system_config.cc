@@ -241,6 +241,13 @@ SchemeConfig::fromConfig(const Config &cfg, const SchemeConfig &defaults)
     s.l2_filter
         = normalizeComponentName(cfg.getString("l2_filter", s.l2_filter));
 
+    // Arbitrary per-component subtrees overlay the defaults' subtrees;
+    // the keys are component-defined and validated (or defaulted) by the
+    // registry builder that receives them, not here.
+    s.offchip_params.merge(cfg.sub("offchip"));
+    s.l1_filter_params.merge(cfg.sub("l1_filter"));
+    s.l2_filter_params.merge(cfg.sub("l2_filter"));
+
     if (s.hasOffchip() && !offchipRegistry().contains(s.offchip)) {
         throw ConfigError("scheme.offchip: unknown off-chip predictor '"
                           + s.offchip + "'; valid names: "
@@ -283,6 +290,12 @@ SchemeConfig::toConfig() const
     c.set("slp_flp_feature", slp_flp_feature);
     c.set("slp_tau_pref", slp_tau_pref);
     c.set("l2_filter", renderComponentName(l2_filter));
+    for (const std::string &k : offchip_params.keys())
+        c.set("offchip." + k, offchip_params.getString(k));
+    for (const std::string &k : l1_filter_params.keys())
+        c.set("l1_filter." + k, l1_filter_params.getString(k));
+    for (const std::string &k : l2_filter_params.keys())
+        c.set("l2_filter." + k, l2_filter_params.getString(k));
     return c;
 }
 
@@ -419,7 +432,12 @@ tlbFromConfig(const Config &c, const std::string &p, Tlb::Params &tp)
 SystemConfig
 SystemConfig::fromConfig(const Config &cfg)
 {
-    SystemConfig c = cascadeLake(getU32(cfg, "cores", 1));
+    unsigned cores = getU32(cfg, "cores", 1);
+    if (cores == 0) {
+        throw ConfigError("cores = 0: a system needs at least one core "
+                          "(multi-core mixes supply one workload per core)");
+    }
+    SystemConfig c = cascadeLake(cores);
 
     if (cfg.has("scheme"))
         c.scheme = SchemeConfig::fromName(cfg.getString("scheme"));
@@ -427,6 +445,7 @@ SystemConfig::fromConfig(const Config &cfg)
 
     c.warmup_instrs = cfg.getUnsigned("warmup_instrs", c.warmup_instrs);
     c.sim_instrs = cfg.getUnsigned("sim_instrs", c.sim_instrs);
+    c.max_cycles = cfg.getUnsigned("max_cycles", c.max_cycles);
     c.dram_gbps_per_core
         = cfg.getDouble("dram_gbps_per_core", c.dram_gbps_per_core);
     c.core_ghz = cfg.getDouble("core_ghz", c.core_ghz);
@@ -437,6 +456,8 @@ SystemConfig::fromConfig(const Config &cfg)
                                  c.l1_pf_table_scale);
     c.l2_prefetcher = normalizeComponentName(
         cfg.getString("l2.prefetcher", c.l2_prefetcher));
+    c.l1_pf_params.merge(cfg.sub("l1d.prefetcher"));
+    c.l2_pf_params.merge(cfg.sub("l2.prefetcher"));
     for (const std::string &pf : {c.l1_prefetcher, c.l2_prefetcher}) {
         if (!pf.empty() && !prefetcherRegistry().contains(pf)) {
             throw ConfigError("unknown prefetcher '" + pf
@@ -505,12 +526,17 @@ SystemConfig::toConfig() const
     c.set("cores", num_cores);
     c.set("warmup_instrs", warmup_instrs);
     c.set("sim_instrs", sim_instrs);
+    c.set("max_cycles", max_cycles);
     c.set("dram_gbps_per_core", dram_gbps_per_core);
     c.set("core_ghz", core_ghz);
 
     c.set("l1d.prefetcher", renderComponentName(l1_prefetcher));
     c.set("l1d.prefetcher_table_scale", l1_pf_table_scale);
     c.set("l2.prefetcher", renderComponentName(l2_prefetcher));
+    for (const std::string &k : l1_pf_params.keys())
+        c.set("l1d.prefetcher." + k, l1_pf_params.getString(k));
+    for (const std::string &k : l2_pf_params.keys())
+        c.set("l2.prefetcher." + k, l2_pf_params.getString(k));
 
     Config sch = scheme.toConfig();
     for (const std::string &k : sch.keys())

@@ -53,6 +53,18 @@ struct SchemeConfig
     /** L2 prefetch-filter registry name ("ppf"; "" = none). */
     std::string l2_filter;
 
+    /**
+     * Arbitrary per-component subtrees, forwarded verbatim to the
+     * registry builders on top of the named knobs above (subtree keys
+     * win). "scheme.offchip.table_scale_shift = 2" tunes the off-chip
+     * predictor without SchemeConfig having heard of the key — the
+     * point of the registry: new backends bring new knobs without core
+     * edits. Relative keys: "offchip.*", "l1_filter.*", "l2_filter.*".
+     */
+    Config offchip_params;
+    Config l1_filter_params;
+    Config l2_filter_params;
+
     bool hasOffchip() const { return !offchip.empty(); }
     bool hasL1Filter() const { return !l1_filter.empty(); }
     bool hasL2Filter() const { return !l2_filter.empty(); }
@@ -105,6 +117,11 @@ struct SystemConfig
     unsigned num_cores = 1;
     InstrCount warmup_instrs = 200'000;
     InstrCount sim_instrs = 1'000'000;
+    /** Hard cycle cap for the whole run; 0 = automatic hang bound
+     *  (~400 cycles per target instruction). A run that hits the cap
+     *  reports hit_cycle_cap and per-core *measured* instruction counts
+     *  (SimResult::instrs) rather than the nominal sim_instrs. */
+    Cycle max_cycles = 0;
     /** Per-core DRAM bandwidth (Table III: 12.8 single, 3.2 multi). */
     double dram_gbps_per_core = 12.8;
     double core_ghz = 3.8;
@@ -114,6 +131,10 @@ struct SystemConfig
     unsigned l1_pf_table_scale = 0;     ///< Fig. 17 "+7KB IPCP/Berti"
     /** L2 prefetcher registry name ("" = none). */
     std::string l2_prefetcher = "spp";
+    /** Arbitrary prefetcher subtrees ("l1d.prefetcher.*" /
+     *  "l2.prefetcher.*"), forwarded to the registry builders. */
+    Config l1_pf_params;
+    Config l2_pf_params;
     SchemeConfig scheme;
 
     Core::Params core;

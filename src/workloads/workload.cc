@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/config.hh"
 #include "common/rng.hh"
 
 namespace tlpsim::workloads
@@ -103,7 +104,7 @@ buildTrace(const WorkloadSpec &spec, std::uint64_t instrs, std::uint64_t seed)
 
 std::vector<Mix>
 makeMixes(const std::vector<WorkloadSpec> &workloads, int mixes_per_suite,
-          std::uint64_t seed)
+          std::uint64_t seed, unsigned cores)
 {
     std::vector<Mix> mixes;
     for (Suite suite : {Suite::Spec, Suite::Gap}) {
@@ -121,11 +122,13 @@ makeMixes(const std::vector<WorkloadSpec> &workloads, int mixes_per_suite,
             mix.homogeneous = m < mixes_per_suite / 2;
             if (mix.homogeneous) {
                 int w = candidates[rng.below(candidates.size())];
-                mix.workload_index = {w, w, w, w};
+                mix.workload_index.assign(cores, w);
                 mix.name = std::string("homo.") + workloads[w].name;
             } else {
-                for (auto &slot : mix.workload_index)
-                    slot = candidates[rng.below(candidates.size())];
+                for (unsigned c = 0; c < cores; ++c) {
+                    mix.workload_index.push_back(
+                        candidates[rng.below(candidates.size())]);
+                }
                 mix.name = std::string("hetero.") + toString(suite) + "."
                     + std::to_string(m);
             }
@@ -133,6 +136,62 @@ makeMixes(const std::vector<WorkloadSpec> &workloads, int mixes_per_suite,
         }
     }
     return mixes;
+}
+
+std::vector<int>
+resolveWorkloadIndices(const std::vector<WorkloadSpec> &workloads,
+                       const std::vector<std::string> &names,
+                       const std::string &context)
+{
+    std::vector<int> indices;
+    std::vector<std::string> unknown;
+    for (const std::string &name : names) {
+        int found = -1;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            if (workloads[i].name == name) {
+                found = static_cast<int>(i);
+                break;
+            }
+        }
+        if (found < 0)
+            unknown.push_back(name);
+        else
+            indices.push_back(found);
+    }
+    if (!unknown.empty()) {
+        std::vector<std::string> valid;
+        for (const auto &w : workloads)
+            valid.push_back(w.name);
+        throw ConfigError(context + ": unknown workload"
+                          + (unknown.size() > 1 ? "s " : " ")
+                          + joinNames(unknown)
+                          + "; valid names (set TLPSIM_SET=tiny|small|full "
+                            "to change the set): "
+                          + joinNames(valid));
+    }
+    return indices;
+}
+
+Mix
+mixFromNames(const std::vector<WorkloadSpec> &workloads,
+             const std::vector<std::string> &names,
+             const std::string &context)
+{
+    Mix mix;
+    mix.workload_index = resolveWorkloadIndices(workloads, names, context);
+    mix.suite = Suite::Spec;
+    mix.homogeneous = true;
+    for (int idx : mix.workload_index) {
+        const WorkloadSpec &w = workloads[static_cast<std::size_t>(idx)];
+        if (w.suite == Suite::Gap)
+            mix.suite = Suite::Gap;
+        if (w.name != workloads[static_cast<std::size_t>(
+                          mix.workload_index.front())].name) {
+            mix.homogeneous = false;
+        }
+        mix.name += mix.name.empty() ? w.name : "+" + w.name;
+    }
+    return mix;
 }
 
 } // namespace tlpsim::workloads

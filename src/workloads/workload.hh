@@ -15,7 +15,6 @@
 #ifndef TLPSIM_WORKLOADS_WORKLOAD_HH
 #define TLPSIM_WORKLOADS_WORKLOAD_HH
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -83,16 +82,43 @@ struct Mix
     std::string name;
     Suite suite;
     bool homogeneous;
-    std::array<int, 4> workload_index;
+    std::vector<int> workload_index;
+
+    /** Number of cores this mix occupies (one workload per core). */
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(workload_index.size());
+    }
 };
 
 /**
- * Generate 4-core mixes per the paper's recipe: half homogeneous (four
- * copies of one workload), half heterogeneous (four distinct), generated
- * separately for each suite.
+ * Generate @p cores-wide mixes per the paper's recipe: half homogeneous
+ * (N copies of one workload), half heterogeneous (independently drawn),
+ * generated separately for each suite. The draw order is independent of
+ * @p cores' value per slot, so the 4-core mixes of the paper's figures
+ * are reproduced exactly by the default.
  */
 std::vector<Mix> makeMixes(const std::vector<WorkloadSpec> &workloads,
-                           int mixes_per_suite, std::uint64_t seed);
+                           int mixes_per_suite, std::uint64_t seed,
+                           unsigned cores = 4);
+
+/**
+ * Resolve workload names to indices into @p workloads. Unlike a lookup
+ * loop that stops at the first typo, this collects *every* unknown name
+ * and throws one ConfigError listing them all alongside the valid names,
+ * so a sweep grid is validated up front in a single pass.
+ * @p context names the source ("--mix", "--workload") in the error.
+ */
+std::vector<int>
+resolveWorkloadIndices(const std::vector<WorkloadSpec> &workloads,
+                       const std::vector<std::string> &names,
+                       const std::string &context);
+
+/** Build a named Mix from workload names (one per core) via
+ *  resolveWorkloadIndices; the mix is named "a+b+c+..." . */
+Mix mixFromNames(const std::vector<WorkloadSpec> &workloads,
+                 const std::vector<std::string> &names,
+                 const std::string &context);
 
 } // namespace tlpsim::workloads
 

@@ -60,6 +60,33 @@ TEST(Config, SubStripsPrefix)
     EXPECT_FALSE(s.has("cores"));
 }
 
+TEST(Config, ListValuedKeys)
+{
+    // Config-file style (commas), assignment style ('+', where ','
+    // already separates assignments), and whitespace all split.
+    Config c = Config::parse("mix.a = bfs.kron, mcf_pchase\n"
+                             "mix.b = bfs.kron+mcf_pchase\n"
+                             "mix.c = bfs.kron mcf_pchase\n");
+    std::vector<std::string> want{"bfs.kron", "mcf_pchase"};
+    EXPECT_EQ(c.getStringList("mix.a"), want);
+    EXPECT_EQ(c.getStringList("mix.b"), want);
+    EXPECT_EQ(c.getStringList("mix.c"), want);
+    EXPECT_EQ(c.getStringList("missing", {"x"}),
+              std::vector<std::string>{"x"});
+
+    // set(vector) round-trips through serialize/parse.
+    Config d;
+    d.set("workload.mix", want);
+    EXPECT_EQ(Config::parse(d.serialize()).getStringList("workload.mix"),
+              want);
+
+    // The '+'-separated form survives the --set assignment syntax.
+    Config e = Config::parseAssignments(
+        "workload.mix=bfs.kron+mcf_pchase, cores=2");
+    EXPECT_EQ(e.getStringList("workload.mix"), want);
+    EXPECT_EQ(e.getInt("cores", 0), 2);
+}
+
 TEST(Config, ParseErrorsNameTheLine)
 {
     try {
@@ -164,7 +191,72 @@ TEST(SystemConfig, ShippedPresetFilesMatchCodePresets)
     }
 }
 
+// Arbitrary per-component subtrees: scheme.offchip.* / scheme.l1_filter.*
+// (and l1d.prefetcher.* / l2.prefetcher.*) keys the named knobs have
+// never heard of must round-trip, fingerprint distinctly, and reach the
+// registry builders.
+TEST(SystemConfig, ComponentSubtreesRoundTripAndFingerprint)
+{
+    Config c = Config::parse("scheme = tlp\n"
+                             "scheme.offchip.table_scale_shift = 1\n"
+                             "scheme.l1_filter.probation_period = 7\n"
+                             "l1d.prefetcher.region_lines = 16\n");
+    SystemConfig cfg = SystemConfig::fromConfig(c);
+    EXPECT_EQ(cfg.scheme.offchip_params.getString("table_scale_shift"),
+              "1");
+    EXPECT_EQ(cfg.scheme.l1_filter_params.getString("probation_period"),
+              "7");
+    EXPECT_EQ(cfg.l1_pf_params.getString("region_lines"), "16");
+
+    // toConfig emits the subtree keys, so fromConfig(toConfig()) is the
+    // identity and the Runner fingerprint separates the design points.
+    Config dumped = cfg.toConfig();
+    EXPECT_EQ(dumped.getString("scheme.l1_filter.probation_period"), "7");
+    SystemConfig rebuilt
+        = SystemConfig::fromConfig(Config::parse(dumped.serialize()));
+    EXPECT_EQ(rebuilt.toConfig(), dumped);
+    EXPECT_EQ(rebuilt.scheme, cfg.scheme);
+
+    SystemConfig plain
+        = SystemConfig::fromConfig(Config::parse("scheme = tlp\n"));
+    EXPECT_NE(experiment::configKey(cfg), experiment::configKey(plain));
+}
+
+TEST(SystemConfig, ComponentSubtreesReachTheBuilders)
+{
+    // A subtree knob must change simulated behaviour: SLP drops a
+    // prefetch when the perceptron sum reaches tau_pref ("predicted
+    // off-chip"), so an always-reached threshold drops (nearly) all.
+    Config base = Config::parse("scheme = tlp\n"
+                                "warmup_instrs = 2000\n"
+                                "sim_instrs = 8000\n");
+    Config strict = base;
+    strict.set("scheme.l1_filter.tau_pref", -120);
+
+    auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    SimResult loose
+        = experiment::runSingleCore(ws.front(),
+                                    SystemConfig::fromConfig(base));
+    SimResult tight
+        = experiment::runSingleCore(ws.front(),
+                                    SystemConfig::fromConfig(strict));
+    EXPECT_GT(tight.stat("cpu0.l1d.pf_filtered"),
+              loose.stat("cpu0.l1d.pf_filtered"));
+}
+
 // --- error paths ------------------------------------------------------------
+
+TEST(SystemConfig, ZeroCoresIsRejected)
+{
+    try {
+        SystemConfig::fromConfig(Config::parse("cores = 0\n"));
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("cores = 0"),
+                  std::string::npos)
+            << e.what();
+    }
+}
 
 TEST(SystemConfig, UnknownKeyListsNearbyKeys)
 {

@@ -131,6 +131,54 @@ TEST(Runner, GridDeterministicAcrossWorkerCounts)
     }
 }
 
+/**
+ * The CLI mix-sweep shape: a full mixes x schemes grid (the Fig. 13
+ * recipe at 2 cores) must be bit-identical whether it runs on 1 worker
+ * or several — the guarantee the tlpsim --cores/--mix sweep mode rests
+ * on, including the per-core measured-instruction counts.
+ */
+TEST(Runner, MixSchemeGridDeterministicAcrossWorkerCounts)
+{
+    auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    auto mixes = workloads::makeMixes(ws, 2, 1234, 2);
+    ASSERT_GE(mixes.size(), 2u);
+    mixes.resize(2);
+
+    std::vector<SystemConfig> grid;
+    for (const SchemeConfig &s :
+         {SchemeConfig::baseline(), SchemeConfig::tlp()}) {
+        SystemConfig cfg = SystemConfig::cascadeLake(2);
+        cfg.warmup_instrs = 2'000;
+        cfg.sim_instrs = 8'000;
+        cfg.scheme = s;
+        grid.push_back(cfg);
+    }
+
+    auto run_grid = [&](unsigned jobs) {
+        Runner r(jobs);
+        for (const auto &cfg : grid) {
+            for (const auto &mix : mixes)
+                r.submitMix(ws, mix, cfg);
+        }
+        std::vector<SimResult> out;
+        for (const auto &cfg : grid) {
+            for (const auto &mix : mixes)
+                out.push_back(r.mix(ws, mix, cfg));
+        }
+        return out;
+    };
+
+    std::vector<SimResult> seq = run_grid(1);
+    std::vector<SimResult> par = run_grid(4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].stats, par[i].stats) << "design point " << i;
+        EXPECT_EQ(seq[i].ipc, par[i].ipc) << "design point " << i;
+        EXPECT_EQ(seq[i].instrs, par[i].instrs) << "design point " << i;
+        EXPECT_EQ(seq[i].cycles, par[i].cycles) << "design point " << i;
+    }
+}
+
 TEST(Runner, MixGridDeterministicAcrossWorkerCounts)
 {
     auto ws = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);

@@ -143,6 +143,90 @@ TEST(Simulator, OracleCountsSpecBlockLocation)
     EXPECT_GT(r.stat("oracle.spec_block_in_dram"), total / 2);
 }
 
+TEST(Simulator, UncappedRunReportsNominalInstrs)
+{
+    SimResult r = runSingleCore(tinyWorkload("mcf_pchase"), tinyConfig());
+    ASSERT_FALSE(r.hit_cycle_cap);
+    ASSERT_EQ(r.instrs.size(), 1u);
+    EXPECT_EQ(r.instrs[0], r.sim_instrs);
+    EXPECT_EQ(r.totalInstrs(), r.sim_instrs);
+}
+
+// The cycle-cap accounting regression: metrics used to divide by the
+// nominal sim_instrs even when the cap cut the measurement short, so
+// MPKI/PPKI/IPC of exactly the capped runs were silently deflated by
+// the fraction of instructions that never executed.
+TEST(Simulator, CycleCapUsesMeasuredInstrsAsDenominator)
+{
+    SystemConfig cfg = tinyConfig();
+    cfg.warmup_instrs = 500;     // ~22k cycles at mcf's ~0.02 IPC
+    cfg.sim_instrs = 500'000;    // unreachable within the cap
+    cfg.max_cycles = 120'000;    // plenty for warmup, a sliver of measure
+    SimResult r = runSingleCore(tinyWorkload("mcf_pchase"), cfg);
+
+    ASSERT_TRUE(r.hit_cycle_cap);
+    ASSERT_EQ(r.instrs.size(), 1u);
+    EXPECT_GT(r.instrs[0], 0u);
+    EXPECT_LT(r.instrs[0], r.sim_instrs);
+
+    // The measured count is what the (reset-at-measure-start) retired
+    // counter saw, and every per-instruction metric divides by it.
+    EXPECT_EQ(r.instrs[0], r.stat("cpu0.instrs"));
+    EXPECT_EQ(r.totalInstrs(), r.instrs[0]);
+    double kilo = static_cast<double>(r.instrs[0]) / 1000.0;
+    double l1d_misses = static_cast<double>(r.stat("cpu0.l1d.load_miss")
+                                            + r.stat("cpu0.l1d.rfo_miss"));
+    EXPECT_NEAR(r.mpki("l1d"), l1d_misses / kilo, 1e-9);
+    EXPECT_NEAR(r.ipc[0],
+                static_cast<double>(r.instrs[0])
+                    / static_cast<double>(r.cycles[0]),
+                1e-12);
+    // The old bug: ~0.03 true IPC reported as sim_instrs/cycles ≈ 6+.
+    EXPECT_LT(r.ipc[0], 1.0);
+}
+
+TEST(Simulator, MismatchedTraceCountIsConfigErrorNotCrash)
+{
+    auto specs = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    const Trace &t = cachedTrace(specs.front(), 10'000);
+    SystemConfig cfg = tinyConfig(4);
+    try {
+        Simulator sim(cfg, {&t, &t});   // 2 traces for 4 cores
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("cores = 4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("2 trace"), std::string::npos) << msg;
+    }
+}
+
+TEST(Experiment, MixWidthMustMatchCores)
+{
+    auto specs = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    workloads::Mix mix;
+    mix.name = "narrow";
+    mix.suite = workloads::Suite::Gap;
+    mix.homogeneous = true;
+    mix.workload_index = {0, 0};
+
+    SystemConfig cfg = tinyConfig(4);
+    try {
+        runMix(specs, mix, cfg);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("narrow"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cores = 4"), std::string::npos) << msg;
+    }
+    // The same mix on a matching system runs fine.
+    cfg = tinyConfig(2);
+    cfg.sim_instrs = 20'000;
+    SimResult r = runMix(specs, mix, cfg);
+    EXPECT_EQ(r.num_cores, 2u);
+    ASSERT_EQ(r.ipc.size(), 2u);
+    EXPECT_GT(r.ipc[0], 0.0);
+}
+
 TEST(Simulator, MultiCoreRunsAllCores)
 {
     auto specs = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);

@@ -11,6 +11,7 @@
 #include <queue>
 
 #include "common/bitops.hh"
+#include "common/config.hh"
 #include "trace/trace.hh"
 #include "workloads/gap_kernels.hh"
 #include "workloads/graph.hh"
@@ -573,4 +574,60 @@ TEST(Workloads, MixesDeterministic)
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i)
         EXPECT_EQ(a[i].workload_index, b[i].workload_index);
+}
+
+TEST(Workloads, MixesGeneralizeToAnyCoreCount)
+{
+    auto ws = singleCoreWorkloads(SetSize::Tiny);
+    for (unsigned cores : {1u, 2u, 4u, 8u}) {
+        auto mixes = makeMixes(ws, 2, 7, cores);
+        ASSERT_FALSE(mixes.empty());
+        for (const auto &m : mixes)
+            EXPECT_EQ(m.cores(), cores);
+    }
+    // A homogeneous mix draws its one workload independently of the core
+    // count, so the paper's 4-core mix *names* survive width changes.
+    auto four = makeMixes(ws, 2, 7, 4);
+    auto two = makeMixes(ws, 2, 7, 2);
+    ASSERT_EQ(four.size(), two.size());
+    for (std::size_t i = 0; i < four.size(); ++i) {
+        if (four[i].homogeneous)
+            EXPECT_EQ(four[i].name, two[i].name);
+    }
+}
+
+TEST(Workloads, ResolveWorkloadIndicesCollectsEveryUnknownName)
+{
+    auto ws = singleCoreWorkloads(SetSize::Tiny);
+    auto ok = resolveWorkloadIndices(ws, {ws[1].name, ws[0].name}, "test");
+    ASSERT_EQ(ok.size(), 2u);
+    EXPECT_EQ(ok[0], 1);
+    EXPECT_EQ(ok[1], 0);
+
+    try {
+        resolveWorkloadIndices(ws, {"bogus_a", ws[0].name, "bogus_b"},
+                               "--mix");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        std::string msg = e.what();
+        // Both typos in one error, plus the source and the valid names.
+        EXPECT_NE(msg.find("bogus_a"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bogus_b"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("--mix"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(ws[0].name), std::string::npos) << msg;
+    }
+}
+
+TEST(Workloads, MixFromNamesBuildsNamedMix)
+{
+    auto ws = singleCoreWorkloads(SetSize::Tiny);
+    Mix m = mixFromNames(ws, {"mcf_pchase", "bfs.kron"}, "test");
+    EXPECT_EQ(m.cores(), 2u);
+    EXPECT_EQ(m.name, "mcf_pchase+bfs.kron");
+    EXPECT_FALSE(m.homogeneous);
+    EXPECT_EQ(m.suite, Suite::Gap);   // any GAP slot marks the mix GAP
+
+    Mix h = mixFromNames(ws, {"mcf_pchase", "mcf_pchase"}, "test");
+    EXPECT_TRUE(h.homogeneous);
+    EXPECT_EQ(h.suite, Suite::Spec);
 }
