@@ -17,6 +17,12 @@
  * full design-point grid up front (prewarm*) and then render tables with
  * run()/runMixCached(), which block on the corresponding jobs; tables are
  * bit-identical regardless of the worker count.
+ *
+ * Measurement semantics are per core (ChampSim-style): every per-core
+ * metric a figure prints — IPC, MPKI, PPKI, prefetch accuracy — covers
+ * that core's own warmup-to-target window, so heterogeneous mixes report
+ * physically plausible per-core numbers (see SimResult). Shared-structure
+ * stats (LLC, DRAM) span first-window-open to last-window-close.
  */
 
 #ifndef TLPSIM_BENCH_BENCH_COMMON_HH

@@ -54,7 +54,7 @@ runSweep(unsigned jobs, const std::vector<workloads::WorkloadSpec> &ws,
     for (const auto &cfg : grid) {
         for (const auto &w : ws) {
             const SimResult &r = runner.single(w, cfg);
-            for (Cycle c : r.cycles)
+            for (Cycle c : r.window_cycles)
                 out.total_cycles += c;
             out.results.push_back(r);
         }
@@ -96,7 +96,7 @@ main()
     bool identical = seq.results.size() == par.results.size();
     for (std::size_t i = 0; identical && i < seq.results.size(); ++i) {
         identical = seq.results[i].stats == par.results[i].stats
-            && seq.results[i].cycles == par.results[i].cycles;
+            && seq.results[i].window_cycles == par.results[i].window_cycles;
     }
 
     double speedup = par.wall_s > 0.0 ? seq.wall_s / par.wall_s : 0.0;

@@ -234,25 +234,41 @@ validateSchemeNames(const std::vector<std::string> &names)
 
 /** The canonical per-design-point row every mode prints. @p label_col is
  *  "workload" for single-core tables, "mix" for multi-core ones (mix
- *  names are wider, hence the wider column). */
+ *  names are wider, hence the wider column). Multi-core tables report
+ *  the per-core-windowed IPC sum plus the largest per-core IPC — the
+ *  plausibility number (bounded by the retire width) that CI's
+ *  heterogeneous-mix smoke asserts on. */
 TablePrinter
 resultTable(const std::string &label_col = "workload",
-            unsigned col_width = 14)
+            unsigned col_width = 14, bool per_core_ipc = false)
 {
-    return TablePrinter({label_col, "scheme", "ipc", "l1d_mpki", "l2c_mpki",
-                         "llc_mpki", "dram_tx", "l1d_pf_acc"}, col_width);
+    std::vector<std::string> cols{label_col, "scheme"};
+    if (per_core_ipc) {
+        cols.push_back("ipc_sum");
+        cols.push_back("ipc_max");
+    } else {
+        cols.push_back("ipc");
+    }
+    for (const char *c : {"l1d_mpki", "l2c_mpki", "llc_mpki", "dram_tx",
+                          "l1d_pf_acc"})
+        cols.push_back(c);
+    return TablePrinter(std::move(cols), col_width);
 }
 
 void
 printResultRow(const TablePrinter &tp, const std::string &workload,
-               const SimResult &r)
+               const SimResult &r, bool per_core_ipc = false)
 {
-    tp.printRow({workload, r.scheme, TablePrinter::fmt(r.ipcTotal(), 4),
-                 TablePrinter::fmt(r.mpki("l1d"), 2),
-                 TablePrinter::fmt(r.mpki("l2c"), 2),
-                 TablePrinter::fmt(r.mpki("llc"), 2),
-                 std::to_string(r.dramTransactions()),
-                 TablePrinter::fmt(r.l1dPrefetchAccuracy() * 100.0, 1)});
+    std::vector<std::string> cells{workload, r.scheme,
+                                   TablePrinter::fmt(r.ipcTotal(), 4)};
+    if (per_core_ipc)
+        cells.push_back(TablePrinter::fmt(r.ipcMax(), 4));
+    cells.push_back(TablePrinter::fmt(r.mpki("l1d"), 2));
+    cells.push_back(TablePrinter::fmt(r.mpki("l2c"), 2));
+    cells.push_back(TablePrinter::fmt(r.mpki("llc"), 2));
+    cells.push_back(std::to_string(r.dramTransactions()));
+    cells.push_back(TablePrinter::fmt(r.l1dPrefetchAccuracy() * 100.0, 1));
+    tp.printRow(cells);
 }
 
 int
@@ -471,12 +487,13 @@ run(const Options &o)
             runner.submitMix(all_workloads, mix, cfg);
     }
 
-    TablePrinter tp = resultTable("mix", 22);
+    TablePrinter tp = resultTable("mix", 24, /*per_core_ipc=*/true);
     tp.printHeader(o.sweep ? "tlpsim mix sweep" : "tlpsim mix run");
     for (const auto &mix : mixes) {
         for (const auto &cfg : grid)
-            printResultRow(tp, mix.name, runner.mix(all_workloads, mix,
-                                                    cfg));
+            printResultRow(tp, mix.name,
+                           runner.mix(all_workloads, mix, cfg),
+                           /*per_core_ipc=*/true);
     }
     return 0;
 }

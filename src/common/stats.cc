@@ -3,6 +3,24 @@
 namespace tlpsim
 {
 
+namespace
+{
+
+bool
+startsWith(const std::string &name, const std::string &prefix)
+{
+    return name.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+std::uint64_t
+StatSnapshot::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+}
+
 Counter *
 StatGroup::counter(const std::string &name)
 {
@@ -27,6 +45,30 @@ StatGroup::resetAll()
 {
     for (auto &kv : counters_)
         kv.second.reset();
+}
+
+StatSnapshot
+StatGroup::snapshot(const std::string &prefix) const
+{
+    StatSnapshot snap;
+    snap.prefix_ = prefix;
+    // counters_ is sorted, so every name sharing a prefix is one
+    // contiguous range starting at lower_bound(prefix).
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && startsWith(it->first, prefix); ++it)
+        snap.values_.emplace(it->first, it->second.value());
+    return snap;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::deltaSince(const StatSnapshot &snap) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (auto it = counters_.lower_bound(snap.prefix());
+         it != counters_.end() && startsWith(it->first, snap.prefix());
+         ++it)
+        out.emplace_back(it->first, it->second.value() - snap.get(it->first));
+    return out;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>

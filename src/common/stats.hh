@@ -33,6 +33,33 @@ class Counter
 };
 
 /**
+ * Point-in-time values of the counters under one name prefix, taken with
+ * StatGroup::snapshot() and consumed by StatGroup::deltaSince(). The pair
+ * reads a *windowed* measurement — counts between two instants — off
+ * counters that run monotonically from construction, which is how
+ * per-core measurement windows work: each core's stats are delimited by
+ * snapshots at its own warmup/measure boundaries instead of one global
+ * reset that every core must share.
+ */
+class StatSnapshot
+{
+  public:
+    StatSnapshot() = default;
+
+    /** The name prefix this snapshot covers ("" = every counter). */
+    const std::string &prefix() const { return prefix_; }
+
+    /** Snapshotted value of @p name (0 if it did not exist then, so
+     *  counters born after the snapshot delta from zero). */
+    std::uint64_t get(const std::string &name) const;
+
+  private:
+    friend class StatGroup;
+    std::string prefix_;
+    std::map<std::string, std::uint64_t> values_;
+};
+
+/**
  * Named collection of counters. Components register counters at
  * construction time; names are hierarchical by convention
  * ("l1d.load_miss", "dram.transactions").
@@ -51,8 +78,20 @@ class StatGroup
     /** True iff a counter with this name exists. */
     bool has(const std::string &name) const;
 
-    /** Reset every counter (used at the warmup/measure boundary). */
+    /** Reset every counter. Mixing reset with snapshot/delta windows
+     *  invalidates open snapshots (deltas would wrap); pick one idiom. */
     void resetAll();
+
+    /** Values of every counter whose name starts with @p prefix, as of
+     *  now. O(matching counters); the group is not modified. */
+    StatSnapshot snapshot(const std::string &prefix = "") const;
+
+    /** (name, current − snapshotted) for every *current* counter under
+     *  the snapshot's prefix, sorted by name: the counts accumulated
+     *  since the snapshot was taken. Counters registered after the
+     *  snapshot report their full value. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    deltaSince(const StatSnapshot &snap) const;
 
     /** All (name, value) pairs, sorted by name. */
     std::vector<std::pair<std::string, std::uint64_t>> dump() const;

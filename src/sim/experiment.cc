@@ -203,6 +203,16 @@ weightedSpeedupPct(const SimResult &scheme_result,
                    const SimResult &baseline_result,
                    const std::vector<double> &ipc_single)
 {
+    if (scheme_result.ipc.size() != baseline_result.ipc.size()
+        || baseline_result.ipc.size() != ipc_single.size()) {
+        throw ConfigError(
+            "weighted speedup: slot count mismatch — scheme result has "
+            + std::to_string(scheme_result.ipc.size())
+            + " core(s), baseline result "
+            + std::to_string(baseline_result.ipc.size())
+            + ", ipc_single " + std::to_string(ipc_single.size())
+            + "; all three must describe the same mix");
+    }
     double scheme_ws = 0.0;
     double base_ws = 0.0;
     for (std::size_t c = 0; c < ipc_single.size(); ++c) {

@@ -50,8 +50,12 @@ double percentDelta(double value, double baseline);
 double geomeanSpeedupPct(const std::vector<double> &speedup_pcts);
 
 /**
- * The paper's multi-core metric: Σ IPC_shared/IPC_single over the four
- * slots, normalized to the same sum in the baseline configuration.
+ * The paper's multi-core metric: Σ IPC_shared/IPC_single over a mix's
+ * slots — one per core, at whatever width the mix has — normalized to
+ * the same sum in the baseline configuration. All three arguments must
+ * describe the same mix: a slot-count mismatch (scheme vs baseline vs
+ * ipc_single) throws ConfigError instead of silently indexing the
+ * vectors out of step.
  */
 double weightedSpeedupPct(const SimResult &scheme_result,
                           const SimResult &baseline_result,

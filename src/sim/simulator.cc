@@ -60,6 +60,12 @@ struct Simulator::PrefetchTranslator : Translator
 InstrCount
 SimResult::totalInstrs() const
 {
+    // The nominal quota is only a fallback for hand-built results with
+    // no per-core accounting at all. Simulator::run always fills
+    // `instrs` with what each window measured (sim_instrs for closed
+    // windows, the truncated count for capped ones, 0 for cores caught
+    // mid-warmup), and summing anything else here would misreport every
+    // per-instruction total of capped or heterogeneous runs.
     if (instrs.empty())
         return sim_instrs * num_cores;
     InstrCount total = 0;
@@ -113,6 +119,15 @@ SimResult::ipcTotal() const
     for (double v : ipc)
         total += v;
     return total;
+}
+
+double
+SimResult::ipcMax() const
+{
+    double max = 0.0;
+    for (double v : ipc)
+        max = std::max(max, v);
+    return max;
 }
 
 Simulator::Simulator(const SystemConfig &cfg,
@@ -295,14 +310,43 @@ Simulator::step()
     ++cycle_;
 }
 
+namespace
+{
+
+/** Per-core stat prefix by the naming convention every component in
+ *  build() follows: core-owned counters are "cpuN.…", shared ones
+ *  (llc, dram, oracle) never start with "cpu". */
+std::string
+perCorePrefix(unsigned core)
+{
+    return "cpu" + std::to_string(core) + ".";
+}
+
+bool
+isPerCoreStat(const std::string &name)
+{
+    return name.compare(0, 3, "cpu") == 0;
+}
+
+} // namespace
+
 SimResult
 Simulator::run()
 {
     const unsigned n = cfg_.num_cores;
     const InstrCount warmup = cfg_.warmup_instrs;
+    // Per-core retirement target: a core's window closes when *it* has
+    // retired warmup + sim_instrs, regardless of co-runner progress.
     const InstrCount target = cfg_.warmup_instrs + cfg_.sim_instrs;
-    // Configured hard cap, or the generous automatic hang bound: an IPC
-    // floor of 1/400 before we declare the simulation stuck.
+    // Configured hard cap, or the automatic hang bound, derived from the
+    // per-core target: the run ends when the slowest core retires
+    // `target` instructions, and all cores progress concurrently, so an
+    // IPC floor of 1/400 on that slowest core bounds the whole run at
+    // target * 400 cycles plus fixed cold-start slack. Warmup is part of
+    // the bound — with per-core windows the slowest core's warmup can
+    // dominate the run, and a cap hit during warmup must still be a
+    // clean hit_cycle_cap result (zero-instruction windows, not
+    // garbage), which the post-loop accounting below guarantees.
     const Cycle cap = cfg_.max_cycles != 0
         ? cfg_.max_cycles
         : static_cast<Cycle>(target) * 400 + 100'000;
@@ -313,62 +357,99 @@ Simulator::run()
     res.sim_instrs = cfg_.sim_instrs;
     res.instrs.assign(n, 0);
     res.ipc.assign(n, 0.0);
-    res.cycles.assign(n, 0);
+    res.warmup_end_cycle.assign(n, 0);
+    res.window_cycles.assign(n, 0);
 
-    auto all_reached = [&](InstrCount k) {
-        for (auto &core : cores_) {
-            if (core->retired() < k)
-                return false;
-        }
-        return true;
-    };
-
-    while (!all_reached(warmup) && cycle_ < cap)
-        step();
-
-    stats_.resetAll();
-    Cycle measure_start = cycle_;
-    // Fast cores overshoot warmup while waiting on slow ones; what they
-    // retire from here on is what the measurement window actually holds.
-    std::vector<InstrCount> retired_at_start(n, 0);
-    for (unsigned c = 0; c < n; ++c)
-        retired_at_start[c] = cores_[c]->retired();
-    std::vector<Cycle> finish(n, 0);
-    std::vector<bool> done(n, false);
+    // Per-core phase machine (ChampSim-style): warming → measuring the
+    // cycle the core retires its own warmup quota, → done when it
+    // retires sim_instrs more. Under the old global warmup barrier a
+    // fast core could pass `target` while slow co-runners were still
+    // warming up, so its "measurement window" degenerated to ~1 cycle
+    // and its IPC read as ~sim_instrs. Per-core stats are delimited by
+    // snapshots at the core's own window boundaries; shared structures
+    // (LLC, DRAM, oracle) get one global window from the first window
+    // opening to the last one closing.
+    enum class Phase : std::uint8_t { Warming, Measuring, Done };
+    std::vector<Phase> phase(n, Phase::Warming);
+    std::vector<StatSnapshot> window_open(n);
+    std::vector<InstrCount> retired_at_open(n, 0);
+    StatSnapshot shared_open;
+    bool any_window_open = false;
     unsigned remaining = n;
 
-    while (remaining > 0 && cycle_ < cap) {
-        step();
+    auto openWindow = [&](unsigned c) {
+        phase[c] = Phase::Measuring;
+        res.warmup_end_cycle[c] = cycle_;
+        retired_at_open[c] = cores_[c]->retired();
+        window_open[c] = stats_.snapshot(perCorePrefix(c));
+        if (!any_window_open) {
+            shared_open = stats_.snapshot();
+            any_window_open = true;
+        }
+    };
+    auto closeWindow = [&](unsigned c) {
+        phase[c] = Phase::Done;
+        res.window_cycles[c] = cycle_ - res.warmup_end_cycle[c];
+        for (auto &[stat, delta] : stats_.deltaSince(window_open[c]))
+            res.stats.insert_or_assign(stat, delta);
+        --remaining;
+    };
+    auto advancePhases = [&] {
         for (unsigned c = 0; c < n; ++c) {
-            if (!done[c] && cores_[c]->retired() >= target) {
-                done[c] = true;
-                finish[c] = cycle_;
-                --remaining;
+            if (phase[c] == Phase::Warming
+                && cores_[c]->retired() >= warmup) {
+                openWindow(c);
+            }
+            if (phase[c] == Phase::Measuring
+                && cores_[c]->retired() >= target) {
+                res.instrs[c] = cfg_.sim_instrs;
+                closeWindow(c);
             }
         }
+    };
+
+    advancePhases();   // warmup_instrs == 0 opens windows at cycle 0
+    while (remaining > 0 && cycle_ < cap) {
+        step();
+        advancePhases();
     }
     res.hit_cycle_cap = remaining > 0;
 
+    // Cores cut off by the cap report what their window really held —
+    // the instructions retired since it opened — and a core the cap
+    // caught still warming held nothing: zero instructions over a
+    // zero-cycle window, with explicit zero stat deltas so the result's
+    // stat key set does not depend on where the cap landed.
     for (unsigned c = 0; c < n; ++c) {
-        Cycle fc = done[c] ? finish[c] : cycle_;
-        res.cycles[c] = fc - measure_start;
-        // Finished cores report the nominal per-core quota (their window
-        // closes the cycle they reach `target`); cores cut off by the
-        // cap report what they actually retired — dividing a truncated
-        // run by the nominal sim_instrs silently deflated every
-        // per-instruction metric of exactly the runs that hit the cap.
-        res.instrs[c] = done[c]
-            ? cfg_.sim_instrs
-            : std::min<InstrCount>(
-                  cores_[c]->retired() - retired_at_start[c],
-                  cfg_.sim_instrs);
-        res.ipc[c] = res.cycles[c] == 0
+        if (phase[c] == Phase::Measuring) {
+            res.instrs[c] = std::min<InstrCount>(
+                cores_[c]->retired() - retired_at_open[c],
+                cfg_.sim_instrs);
+            closeWindow(c);
+        } else if (phase[c] == Phase::Warming) {
+            for (auto &[stat, delta]
+                 : stats_.deltaSince(stats_.snapshot(perCorePrefix(c))))
+                res.stats.insert_or_assign(stat, delta);
+        }
+    }
+
+    // Shared-structure window: first window open → last window close
+    // (the loop exits the cycle the last window closes, or at the cap).
+    // If the cap fired before any window opened the global window is
+    // empty and every shared counter reports a zero delta.
+    if (!any_window_open)
+        shared_open = stats_.snapshot();
+    for (auto &[stat, delta] : stats_.deltaSince(shared_open)) {
+        if (!isPerCoreStat(stat))
+            res.stats.insert_or_assign(stat, delta);
+    }
+
+    for (unsigned c = 0; c < n; ++c) {
+        res.ipc[c] = res.window_cycles[c] == 0
             ? 0.0
             : static_cast<double>(res.instrs[c])
-                / static_cast<double>(res.cycles[c]);
+                / static_cast<double>(res.window_cycles[c]);
     }
-    for (auto &[name, value] : stats_.dump())
-        res.stats.emplace(name, value);
     return res;
 }
 

@@ -26,25 +26,50 @@
 namespace tlpsim
 {
 
-/** Everything an experiment needs from one finished simulation. */
+/**
+ * Everything an experiment needs from one finished simulation.
+ *
+ * Measurement semantics are per core (ChampSim-style): each core's
+ * window opens the cycle *it* retires warmup_instrs and closes when it
+ * retires sim_instrs more, independent of co-runner progress — so a
+ * fast core's window spans its real retire time even when a slow
+ * co-runner is still warming up. Per-core stats ("cpuN.*") cover core
+ * N's own window; shared-structure stats ("llc.*", "dram.*",
+ * "oracle.*") cover one global window from the first window opening to
+ * the last one closing.
+ */
 struct SimResult
 {
     std::string scheme;
     unsigned num_cores = 0;
     InstrCount sim_instrs = 0;              ///< per core, nominal target
-    /** Per core: instructions actually retired during measurement. Equal
-     *  to sim_instrs for cores that reached their target; smaller for
-     *  cores cut off by the cycle cap. Every per-instruction metric
-     *  below divides by these, not the nominal target, so a capped run
+    /** Per core: instructions measured inside the core's own window.
+     *  Equal to sim_instrs for cores that closed their window; smaller
+     *  for cores cut off by the cycle cap, and zero for a core the cap
+     *  caught still warming up. Every per-instruction metric below
+     *  divides by these, not the nominal target, so a capped run
      *  reports its true rates instead of silently deflated ones. */
     std::vector<InstrCount> instrs;
-    std::vector<double> ipc;                ///< per core, measurement phase
-    std::vector<Cycle> cycles;              ///< per core measurement cycles
+    std::vector<double> ipc;                ///< per core, own window
+    /** Per core: cycle the core's measurement window opened (it retired
+     *  its warmup_instrs-th instruction). 0 means warmup never finished
+     *  — only possible when hit_cycle_cap is set. */
+    std::vector<Cycle> warmup_end_cycle;
+    /** Per core: length of the core's own measurement window, from its
+     *  warmup end to the cycle it retired sim_instrs more (or to the
+     *  cycle cap). */
+    std::vector<Cycle> window_cycles;
     bool hit_cycle_cap = false;
+    /** Windowed counters — see the struct comment for which window each
+     *  name family covers. */
     std::map<std::string, std::uint64_t> stats;
 
-    /** Measured instructions summed over cores (nominal if pre-instrs
-     *  results are mixed in, e.g. hand-built SimResults in tests). */
+    /** Measured instructions summed over the per-core windows. Falls
+     *  back to the nominal sim_instrs * num_cores only when `instrs` is
+     *  empty (hand-built SimResults in tests); Simulator::run always
+     *  populates `instrs`, including with zeros for cores the cycle cap
+     *  caught mid-warmup, so capped and heterogeneous runs never
+     *  misreport per-instruction totals via the nominal quota. */
     InstrCount totalInstrs() const;
 
     std::uint64_t
@@ -73,6 +98,11 @@ struct SimResult
     double ppki(const std::string &counter_suffix) const;
 
     double ipcTotal() const;
+
+    /** Largest per-core IPC. Physically bounded by the retire width;
+     *  the pre-window-semantics degenerate-window bug pushed this to
+     *  ~sim_instrs, which is what the CI smoke guards against. */
+    double ipcMax() const;
 };
 
 class Simulator

@@ -125,7 +125,8 @@ TEST(Runner, GridDeterministicAcrossWorkerCounts)
     ASSERT_EQ(seq.size(), par.size());
     for (std::size_t i = 0; i < seq.size(); ++i) {
         EXPECT_EQ(seq[i].stats, par[i].stats) << "design point " << i;
-        EXPECT_EQ(seq[i].cycles, par[i].cycles) << "design point " << i;
+        EXPECT_EQ(seq[i].window_cycles, par[i].window_cycles)
+            << "design point " << i;
         EXPECT_EQ(seq[i].ipc, par[i].ipc) << "design point " << i;
         EXPECT_EQ(seq[i].hit_cycle_cap, par[i].hit_cycle_cap);
     }
@@ -175,7 +176,10 @@ TEST(Runner, MixSchemeGridDeterministicAcrossWorkerCounts)
         EXPECT_EQ(seq[i].stats, par[i].stats) << "design point " << i;
         EXPECT_EQ(seq[i].ipc, par[i].ipc) << "design point " << i;
         EXPECT_EQ(seq[i].instrs, par[i].instrs) << "design point " << i;
-        EXPECT_EQ(seq[i].cycles, par[i].cycles) << "design point " << i;
+        EXPECT_EQ(seq[i].window_cycles, par[i].window_cycles)
+            << "design point " << i;
+        EXPECT_EQ(seq[i].warmup_end_cycle, par[i].warmup_end_cycle)
+            << "design point " << i;
     }
 }
 

@@ -1,0 +1,141 @@
+/**
+ * Unit tests for the StatGroup snapshot/delta mechanism — the windowed
+ * measurement primitive behind per-core warmup/measurement windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace tlpsim;
+
+TEST(Stats, SnapshotDeltaMeasuresAWindow)
+{
+    StatGroup g("sim");
+    Counter *a = g.counter("cpu0.instrs");
+    Counter *b = g.counter("cpu0.loads");
+    a->add(100);
+    b->add(7);
+
+    StatSnapshot snap = g.snapshot();
+    a->add(25);
+    b->add(3);
+
+    auto delta = g.deltaSince(snap);
+    ASSERT_EQ(delta.size(), 2u);
+    EXPECT_EQ(delta[0].first, "cpu0.instrs");
+    EXPECT_EQ(delta[0].second, 25u);
+    EXPECT_EQ(delta[1].first, "cpu0.loads");
+    EXPECT_EQ(delta[1].second, 3u);
+    // The counters themselves keep their absolute values: a snapshot is
+    // a read, not a reset.
+    EXPECT_EQ(g.get("cpu0.instrs"), 125u);
+    EXPECT_EQ(g.get("cpu0.loads"), 10u);
+}
+
+TEST(Stats, SnapshotPrefixRestrictsTheWindow)
+{
+    StatGroup g;
+    Counter *c0 = g.counter("cpu0.l1d.load_miss");
+    Counter *c1 = g.counter("cpu1.l1d.load_miss");
+    Counter *llc = g.counter("llc.load_miss");
+    c0->add(1);
+    c1->add(1);
+    llc->add(1);
+
+    StatSnapshot snap = g.snapshot("cpu0.");
+    EXPECT_EQ(snap.prefix(), "cpu0.");
+    c0->add(10);
+    c1->add(20);
+    llc->add(30);
+
+    auto delta = g.deltaSince(snap);
+    ASSERT_EQ(delta.size(), 1u);
+    EXPECT_EQ(delta[0].first, "cpu0.l1d.load_miss");
+    EXPECT_EQ(delta[0].second, 10u);
+}
+
+TEST(Stats, PrefixIsAStringPrefixNotAComponentMatch)
+{
+    // "cpu1." must not swallow "cpu10." style siblings — only exact
+    // string-prefix matches belong to the window.
+    StatGroup g;
+    g.counter("cpu1.instrs")->add(5);
+    g.counter("cpu10.instrs")->add(7);
+
+    StatSnapshot snap = g.snapshot("cpu1.");
+    g.counter("cpu1.instrs")->add(1);
+    g.counter("cpu10.instrs")->add(2);
+
+    auto delta = g.deltaSince(snap);
+    ASSERT_EQ(delta.size(), 1u);
+    EXPECT_EQ(delta[0].first, "cpu1.instrs");
+    EXPECT_EQ(delta[0].second, 1u);
+}
+
+TEST(Stats, CounterBornAfterSnapshotDeltasFromZero)
+{
+    StatGroup g;
+    g.counter("cpu0.early")->add(4);
+    StatSnapshot snap = g.snapshot("cpu0.");
+    g.counter("cpu0.late")->add(9);
+
+    auto delta = g.deltaSince(snap);
+    ASSERT_EQ(delta.size(), 2u);
+    EXPECT_EQ(delta[0].first, "cpu0.early");
+    EXPECT_EQ(delta[0].second, 0u);
+    EXPECT_EQ(delta[1].first, "cpu0.late");
+    EXPECT_EQ(delta[1].second, 9u);
+    EXPECT_EQ(snap.get("cpu0.late"), 0u);
+}
+
+TEST(Stats, DeltaIsRepeatableAndNonDestructive)
+{
+    StatGroup g;
+    Counter *c = g.counter("dram.transactions");
+    c->add(2);
+    StatSnapshot snap = g.snapshot();
+    c->add(5);
+
+    auto first = g.deltaSince(snap);
+    auto second = g.deltaSince(snap);
+    EXPECT_EQ(first, second);
+    c->add(1);
+    auto third = g.deltaSince(snap);
+    ASSERT_EQ(third.size(), 1u);
+    EXPECT_EQ(third[0].second, 6u);
+}
+
+TEST(Stats, EmptyGroupAndMissingNames)
+{
+    StatGroup g;
+    StatSnapshot snap = g.snapshot();
+    EXPECT_TRUE(g.deltaSince(snap).empty());
+    EXPECT_EQ(snap.get("never.registered"), 0u);
+
+    StatSnapshot scoped = g.snapshot("cpu0.");
+    EXPECT_TRUE(g.deltaSince(scoped).empty());
+}
+
+TEST(Stats, OverlappingWindowsAreIndependent)
+{
+    // Two cores' windows overlap in time but cover different count
+    // spans — the per-core measurement-window use case in miniature.
+    StatGroup g;
+    Counter *c0 = g.counter("cpu0.instrs");
+    Counter *c1 = g.counter("cpu1.instrs");
+
+    StatSnapshot w0 = g.snapshot("cpu0.");   // core 0 opens first
+    c0->add(100);
+    c1->add(400);
+    StatSnapshot w1 = g.snapshot("cpu1.");   // core 1 opens later
+    c0->add(50);
+    c1->add(60);
+
+    auto d0 = g.deltaSince(w0);
+    auto d1 = g.deltaSince(w1);
+    ASSERT_EQ(d0.size(), 1u);
+    ASSERT_EQ(d1.size(), 1u);
+    EXPECT_EQ(d0[0].second, 150u);   // everything since core 0 opened
+    EXPECT_EQ(d1[0].second, 60u);    // only what came after core 1 opened
+}
