@@ -68,6 +68,9 @@ modes (default: run the configured workloads/mixes once):
   --list-workloads  list workload names and exit
   --list-schemes    list scheme preset names and exit
   --list-components list registry component names and exit
+  --knobs [NAME]    print the declared knob reference (every component's
+                    tuning keys with type, default, description; NAME
+                    filters to one component) and exit
 
 execution:
   --jobs N          worker threads (default: TLPSIM_JOBS or all cores)
@@ -91,6 +94,8 @@ struct Options
     bool list_workloads = false;
     bool list_schemes = false;
     bool list_components = false;
+    bool knobs = false;
+    std::string knobs_component;   ///< "" = every component
     unsigned jobs = 0;   ///< 0 = TLPSIM_JOBS / hardware default
 };
 
@@ -169,6 +174,10 @@ parseArgs(int argc, char **argv)
             o.list_schemes = true;
         } else if (arg == "--list-components") {
             o.list_components = true;
+        } else if (arg == "--knobs") {
+            o.knobs = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                o.knobs_component = argv[++i];
         } else {
             usageError("unknown option '" + arg + "'");
         }
@@ -288,6 +297,10 @@ run(const Options &o)
                     offchipRegistry().namesLine().c_str());
         return 0;
     }
+    if (o.knobs) {
+        std::fputs(knobReference(o.knobs_component).c_str(), stdout);
+        return 0;
+    }
 
     auto all_workloads
         = workloads::singleCoreWorkloads(workloads::setSizeFromEnv());
@@ -353,20 +366,56 @@ run(const Options &o)
     // scheme only, applied through `base` above).
     validateSchemeNames(o.schemes);
     const Config scheme_overrides = lc.overrides.sub("scheme");
-    auto with_overrides = [&scheme_overrides](const SchemeConfig &preset) {
-        return SchemeConfig::fromConfig(scheme_overrides, preset);
-    };
     std::vector<SchemeConfig> schemes;
+    // Knob-schema offences (a misspelled scheme.offchip.* key, a
+    // wrongly-typed value) are collected across every scheme of the grid
+    // and reported in one error before anything runs, like the mix axis.
+    std::vector<std::string> scheme_errors;
+    auto push_scheme = [&](const SchemeConfig &preset) {
+        try {
+            schemes.push_back(
+                SchemeConfig::fromConfig(scheme_overrides, preset));
+        } catch (const ConfigError &e) {
+            // Presets sharing a component produce the same message once.
+            if (std::find(scheme_errors.begin(), scheme_errors.end(),
+                          e.what())
+                == scheme_errors.end()) {
+                scheme_errors.push_back(e.what());
+            }
+        }
+    };
     if (!o.schemes.empty()) {
         for (const std::string &name : o.schemes)
-            schemes.push_back(with_overrides(SchemeConfig::fromName(name)));
+            push_scheme(SchemeConfig::fromName(name));
     } else if (o.sweep) {
-        schemes.push_back(with_overrides(SchemeConfig::baseline()));
+        push_scheme(SchemeConfig::baseline());
         for (const SchemeConfig &s : SchemeConfig::paperSchemes())
-            schemes.push_back(with_overrides(s));
+            push_scheme(s);
     } else {
         schemes.push_back(base.scheme);
+        // A subtree for a slot the scheme never deploys tunes nothing:
+        // reject it as the typo it almost certainly is. (Sweeps validate
+        // per selected preset above, where the slot may well be filled.)
+        auto flag_dangling = [&scheme_errors](const std::string &slot,
+                                              const std::string &component,
+                                              const Config &params) {
+            if (!component.empty())
+                return;
+            for (const std::string &k : params.keys()) {
+                scheme_errors.push_back(
+                    "scheme." + slot + "." + k + " is set but scheme."
+                    + slot + " = none deploys no component to consume it");
+            }
+        };
+        flag_dangling("offchip", base.scheme.offchip,
+                      base.scheme.offchip_params);
+        flag_dangling("l1_filter", base.scheme.l1_filter,
+                      base.scheme.l1_filter_params);
+        flag_dangling("l2_filter", base.scheme.l2_filter,
+                      base.scheme.l2_filter_params);
     }
+    if (!scheme_errors.empty())
+        throwConfigErrors(scheme_errors);
 
     std::vector<SystemConfig> grid;
     for (const SchemeConfig &s : schemes) {

@@ -46,21 +46,33 @@ joinNames(const std::vector<std::string> &names)
 }
 
 void
+throwConfigErrors(const std::vector<std::string> &errors)
+{
+    std::string msg;
+    for (const std::string &e : errors)
+        msg += msg.empty() ? e : "\n" + e;
+    throw ConfigError(msg);
+}
+
+void
 Config::set(const std::string &key, std::string value)
 {
     values_[key] = std::move(value);
+    consumed_.erase(key);
 }
 
 void
 Config::set(const std::string &key, const char *value)
 {
     values_[key] = value;
+    consumed_.erase(key);
 }
 
 void
 Config::set(const std::string &key, bool value)
 {
     values_[key] = value ? "true" : "false";
+    consumed_.erase(key);
 }
 
 void
@@ -71,30 +83,36 @@ Config::set(const std::string &key, double value)
     char buf[64];
     auto res = std::to_chars(buf, buf + sizeof(buf), value);
     values_[key] = std::string(buf, res.ptr);
+    consumed_.erase(key);
 }
 
 void
 Config::set(const std::string &key, const std::vector<std::string> &value)
 {
     values_[key] = joinNames(value);
+    consumed_.erase(key);
 }
 
 void
 Config::setInt(const std::string &key, std::int64_t value)
 {
     values_[key] = std::to_string(value);
+    consumed_.erase(key);
 }
 
 void
 Config::merge(const Config &other)
 {
-    for (const auto &[k, v] : other.values_)
+    for (const auto &[k, v] : other.values_) {
         values_[k] = v;
+        consumed_.erase(k);
+    }
 }
 
 bool
 Config::erase(const std::string &key)
 {
+    consumed_.erase(key);
     return values_.erase(key) > 0;
 }
 
@@ -114,11 +132,25 @@ Config::keys() const
     return out;
 }
 
+std::vector<std::string>
+Config::unconsumedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[k, v] : values_) {
+        if (consumed_.count(k) == 0)
+            out.push_back(k);
+    }
+    return out;
+}
+
 std::string
 Config::getString(const std::string &key, const std::string &fallback) const
 {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    if (it == values_.end())
+        return fallback;
+    consumed_.insert(key);
+    return it->second;
 }
 
 std::int64_t
@@ -127,6 +159,7 @@ Config::getInt(const std::string &key, std::int64_t fallback) const
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    consumed_.insert(key);
     const char *s = it->second.c_str();
     char *end = nullptr;
     errno = 0;
@@ -142,6 +175,7 @@ Config::getUnsigned(const std::string &key, std::uint64_t fallback) const
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    consumed_.insert(key);
     const char *s = it->second.c_str();
     char *end = nullptr;
     errno = 0;
@@ -179,6 +213,7 @@ Config::getDouble(const std::string &key, double fallback) const
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    consumed_.insert(key);
     const char *s = it->second.c_str();
     char *end = nullptr;
     errno = 0;
@@ -194,6 +229,7 @@ Config::getBool(const std::string &key, bool fallback) const
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    consumed_.insert(key);
     const std::string &v = it->second;
     if (v == "true" || v == "1" || v == "yes" || v == "on")
         return true;
@@ -209,6 +245,7 @@ Config::getStringList(const std::string &key,
     auto it = values_.find(key);
     if (it == values_.end())
         return fallback;
+    consumed_.insert(key);
     std::vector<std::string> out;
     std::string item;
     auto flush = [&] {
@@ -235,8 +272,12 @@ Config::sub(const std::string &prefix) const
     Config out;
     const std::string p = prefix + ".";
     for (const auto &[k, v] : values_) {
-        if (k.size() > p.size() && k.compare(0, p.size(), p) == 0)
+        if (k.size() > p.size() && k.compare(0, p.size(), p) == 0) {
             out.values_[k.substr(p.size())] = v;
+            // Forwarded to the subtree's consumer — the parent-level
+            // typo net must not also flag these keys.
+            consumed_.insert(k);
+        }
     }
     return out;
 }

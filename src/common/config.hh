@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -38,6 +39,11 @@ class ConfigError : public std::runtime_error
 
 /** Comma-join for "valid names: ..." error messages and listings. */
 std::string joinNames(const std::vector<std::string> &names);
+
+/** Throw one ConfigError carrying every collected error, one per line
+ *  (the "report all offenders at once" convention of grid validation).
+ *  @p errors must be non-empty. */
+[[noreturn]] void throwConfigErrors(const std::vector<std::string> &errors);
 
 class Config
 {
@@ -70,6 +76,17 @@ class Config
 
     /** All keys, sorted. */
     std::vector<std::string> keys() const;
+
+    /**
+     * Consumed-key tracking: every typed getter marks the key it read,
+     * and sub() marks the keys it forwards, so after a consumer (e.g.
+     * SystemConfig::fromConfig) has extracted everything it understands,
+     * the keys still unconsumed are exactly the typos — present in the
+     * config but feeding no field and no component subtree. has() does
+     * not mark (probing is not consumption); set/merge/erase reset the
+     * mark of the keys they touch.
+     */
+    std::vector<std::string> unconsumedKeys() const;
 
     /** Typed getters: return @p fallback when the key is absent; throw
      *  ConfigError when the key is present but malformed. */
@@ -124,12 +141,19 @@ class Config
      *  reproduces the config exactly. */
     std::string serialize() const;
 
-    bool operator==(const Config &) const = default;
+    /** Value equality; consumed-key marks do not participate. */
+    bool operator==(const Config &other) const
+    {
+        return values_ == other.values_;
+    }
 
   private:
     void setInt(const std::string &key, std::int64_t value);
 
     std::map<std::string, std::string> values_;
+    /** Keys read by a typed getter or forwarded by sub(); mutable so a
+     *  const consumer (fromConfig takes const Config &) can track. */
+    mutable std::set<std::string> consumed_;
 };
 
 } // namespace tlpsim

@@ -1,0 +1,310 @@
+#include "common/knobs.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace tlpsim
+{
+
+const char *
+toString(KnobType t)
+{
+    switch (t) {
+      case KnobType::String: return "string";
+      case KnobType::Int: return "int";
+      case KnobType::Unsigned: return "unsigned";
+      case KnobType::Double: return "double";
+      case KnobType::Bool: return "bool";
+    }
+    return "?";
+}
+
+KnobSpec::KnobSpec(std::string n, const char *def, std::string desc,
+                   std::vector<std::string> choice_list)
+    : name(std::move(n)), type(KnobType::String), default_value(def),
+      description(std::move(desc)), choices(std::move(choice_list))
+{
+}
+
+KnobSpec::KnobSpec(std::string n, std::string def, std::string desc,
+                   std::vector<std::string> choice_list)
+    : name(std::move(n)), type(KnobType::String),
+      default_value(std::move(def)), description(std::move(desc)),
+      choices(std::move(choice_list))
+{
+}
+
+KnobSpec::KnobSpec(std::string n, bool def, std::string desc)
+    : name(std::move(n)), type(KnobType::Bool),
+      default_value(def ? "true" : "false"), description(std::move(desc))
+{
+}
+
+KnobSpec::KnobSpec(std::string n, double def, std::string desc)
+    : name(std::move(n)), type(KnobType::Double),
+      description(std::move(desc))
+{
+    // Same shortest-round-trip rendering as Config::set(double), so the
+    // schema default and a toConfig dump of it are byte-identical.
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), def);
+    default_value.assign(buf, res.ptr);
+}
+
+KnobSchema::KnobSchema(std::initializer_list<KnobSpec> specs)
+    : specs_(specs)
+{
+    for (const KnobSpec &s : specs_) {
+        if (find(s.name) != &s) {
+            throw ConfigError("knob '" + s.name
+                              + "' is declared twice in one schema");
+        }
+    }
+}
+
+bool
+KnobSchema::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+const KnobSpec *
+KnobSchema::find(const std::string &name) const
+{
+    for (const KnobSpec &s : specs_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+KnobSchema::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const KnobSpec &s : specs_)
+        out.push_back(s.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+KnobSchema::namesLine() const
+{
+    return joinNames(names());
+}
+
+Config
+KnobSchema::defaults() const
+{
+    Config c;
+    for (const KnobSpec &s : specs_)
+        c.set(s.name, s.default_value);
+    return c;
+}
+
+namespace
+{
+
+/** Does @p value parse (and fit) as @p spec declares? Reuses the Config
+ *  getters at the declared width, so the accepted grammar and range are
+ *  exactly what the builder's extraction will accept. */
+bool
+valueParses(const std::string &value, const KnobSpec &spec)
+{
+    Config probe;
+    probe.set("v", value);
+    try {
+        switch (spec.type) {
+          case KnobType::String:
+            return spec.choices.empty()
+                || std::find(spec.choices.begin(), spec.choices.end(),
+                             value)
+                       != spec.choices.end();
+          case KnobType::Int:
+            if (spec.bits <= 32)
+                probe.getInt32("v", 0);
+            else
+                probe.getInt("v", 0);
+            break;
+          case KnobType::Unsigned:
+            if (spec.bits <= 32)
+                probe.getUnsigned32("v", 0);
+            else
+                probe.getUnsigned("v", 0);
+            break;
+          case KnobType::Double: probe.getDouble("v", 0.0); break;
+          case KnobType::Bool: probe.getBool("v", false); break;
+        }
+    } catch (const ConfigError &) {
+        return false;
+    }
+    return true;
+}
+
+/** "expected ..." wording for a wrongly-typed value. */
+std::string
+expectedText(const KnobSpec &spec)
+{
+    switch (spec.type) {
+      case KnobType::String:
+        return spec.choices.empty()
+            ? std::string{"string"}
+            : "one of " + joinNames(spec.choices);
+      case KnobType::Int:
+        return spec.bits <= 32 ? "a 32-bit int" : "an int";
+      case KnobType::Unsigned:
+        return spec.bits <= 32 ? "a 32-bit unsigned" : "an unsigned";
+      case KnobType::Double: return "a number";
+      case KnobType::Bool: return "a boolean";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::vector<std::string>
+KnobSchema::check(const Config &cfg, const std::string &component,
+                  const std::string &prefix) const
+{
+    std::vector<std::string> errors;
+    for (const std::string &key : cfg.keys()) {
+        const KnobSpec *spec = find(key);
+        if (spec == nullptr) {
+            errors.push_back(prefix + key + ": unknown " + component
+                             + " knob; declared knobs: " + namesLine());
+        } else if (!valueParses(cfg.getString(key), *spec)) {
+            errors.push_back(prefix + key + " = '" + cfg.getString(key)
+                             + "': expected " + expectedText(*spec)
+                             + " for " + component + " knob '" + key
+                             + "'; declared knobs: " + namesLine());
+        }
+    }
+    return errors;
+}
+
+void
+KnobSchema::validate(const Config &cfg, const std::string &component,
+                     const std::string &prefix) const
+{
+    std::vector<std::string> errors = check(cfg, component, prefix);
+    if (!errors.empty())
+        throwConfigErrors(errors);
+}
+
+std::string
+KnobSchema::reference(const std::string &indent) const
+{
+    std::string out;
+    char buf[512];
+    for (const KnobSpec &s : specs_) {
+        std::snprintf(buf, sizeof(buf), "%s%-24s %-9s %-10s %s\n",
+                      indent.c_str(), s.name.c_str(), toString(s.type),
+                      s.default_value.c_str(), s.description.c_str());
+        out += buf;
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------ Knobs
+
+Knobs::Knobs(const Config &cfg, const KnobSchema &schema,
+             std::string component)
+    : cfg_(cfg), schema_(schema), component_(std::move(component))
+{
+}
+
+const KnobSpec &
+Knobs::expect(const std::string &key, KnobType t, unsigned bits) const
+{
+    const KnobSpec *spec = schema_.find(key);
+    if (spec == nullptr) {
+        throw ConfigError(component_ + " builder reads knob '" + key
+                          + "' its schema never declared; declared knobs: "
+                          + schema_.namesLine());
+    }
+    // Unsigned extraction of an Int knob (or a 32-bit read of a 64-bit
+    // declaration) would let the declared range disagree with the
+    // accepted range — the up-front check would pass values that later
+    // fail extraction.
+    if (spec->type != t || (bits != 0 && spec->bits != bits)) {
+        auto describe = [](KnobType type, unsigned width) {
+            std::string out = toString(type);
+            if (width != 0
+                && (type == KnobType::Int || type == KnobType::Unsigned))
+                out += "(" + std::to_string(width) + ")";
+            return out;
+        };
+        throw ConfigError(component_ + " builder reads knob '" + key
+                          + "' as " + describe(t, bits)
+                          + " but it is declared "
+                          + describe(spec->type, spec->bits));
+    }
+    return *spec;
+}
+
+std::string
+Knobs::str(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::String);
+    return cfg_.getString(key, spec.default_value);
+}
+
+std::int32_t
+Knobs::i32(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::Int, 32);
+    if (cfg_.has(key))
+        return cfg_.getInt32(key, 0);
+    Config def;
+    def.set(key, spec.default_value);
+    return def.getInt32(key, 0);
+}
+
+std::uint32_t
+Knobs::u32(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::Unsigned, 32);
+    if (cfg_.has(key))
+        return cfg_.getUnsigned32(key, 0);
+    Config def;
+    def.set(key, spec.default_value);
+    return def.getUnsigned32(key, 0);
+}
+
+std::uint64_t
+Knobs::u64(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::Unsigned, 64);
+    if (cfg_.has(key))
+        return cfg_.getUnsigned(key, 0);
+    Config def;
+    def.set(key, spec.default_value);
+    return def.getUnsigned(key, 0);
+}
+
+double
+Knobs::num(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::Double);
+    if (cfg_.has(key))
+        return cfg_.getDouble(key, 0.0);
+    Config def;
+    def.set(key, spec.default_value);
+    return def.getDouble(key, 0.0);
+}
+
+bool
+Knobs::flag(const std::string &key) const
+{
+    const KnobSpec &spec = expect(key, KnobType::Bool);
+    if (cfg_.has(key))
+        return cfg_.getBool(key, false);
+    Config def;
+    def.set(key, spec.default_value);
+    return def.getBool(key, false);
+}
+
+} // namespace tlpsim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Declared knob schemas — the data half of the self-describing component
+ * API.
+ *
+ * Every component registered with a KnobSchema names its tuning knobs up
+ * front (name, value type, default, one-line description). The schema is
+ * what makes forwarded config subtrees (scheme.offchip.*,
+ * l1d.prefetcher.*, ...) safe to sweep: a key no schema entry consumes
+ * throws a ConfigError naming the offending key and the component's
+ * declared knobs, instead of being silently ignored while the sweep runs
+ * the defaults.
+ *
+ * Three cooperating pieces:
+ *
+ *   - KnobSpec / KnobSchema: the declaration. Defaults are rendered from
+ *     typed C++ values (usually the component's default-constructed
+ *     Params), so the schema can never drift from the code's defaults.
+ *   - KnobSchema::check/validate: subtree validation — unknown keys and
+ *     values that do not parse as the declared type are collected, one
+ *     actionable error string per offence.
+ *   - Knobs: the schema-checked Config reader builders extract with.
+ *     Every getter names a knob that must be declared with a matching
+ *     type; drift between a component's schema and its extraction code
+ *     throws at build time instead of silently defaulting.
+ */
+
+#ifndef TLPSIM_COMMON_KNOBS_HH
+#define TLPSIM_COMMON_KNOBS_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace tlpsim
+{
+
+enum class KnobType
+{
+    String,
+    Int,
+    Unsigned,
+    Double,
+    Bool,
+};
+
+const char *toString(KnobType t);
+
+/** One declared tuning knob. */
+struct KnobSpec
+{
+    std::string name;
+    KnobType type;
+    /** Config-rendered default (what a config file would say). */
+    std::string default_value;
+    std::string description;
+    /** Int/Unsigned: the extraction width (32 or 64), recorded from the
+     *  declaring C++ type so range validation matches what the builder's
+     *  getter will accept — an out-of-range value fails the up-front
+     *  check, never mid-run. */
+    unsigned bits = 64;
+    /** String knobs only: the accepted values ("policy"); empty = any. */
+    std::vector<std::string> choices;
+
+    KnobSpec(std::string n, const char *def, std::string desc,
+             std::vector<std::string> choice_list = {});
+    KnobSpec(std::string n, std::string def, std::string desc,
+             std::vector<std::string> choice_list = {});
+    KnobSpec(std::string n, bool def, std::string desc);
+    KnobSpec(std::string n, double def, std::string desc);
+    /** Any non-bool integral default; signedness picks Int vs Unsigned
+     *  and the type's size picks the validated width. */
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>
+                                          && !std::is_same_v<T, bool>>>
+    KnobSpec(std::string n, T def, std::string desc)
+        : name(std::move(n)),
+          type(std::is_signed_v<T> ? KnobType::Int : KnobType::Unsigned),
+          default_value(std::to_string(def)), description(std::move(desc)),
+          bits(sizeof(T) <= 4 ? 32 : 64)
+    {
+    }
+};
+
+/** The declared knob set of one registered component. */
+class KnobSchema
+{
+  public:
+    KnobSchema() = default;
+    /** Throws ConfigError on duplicate knob names (a copy-paste slip). */
+    KnobSchema(std::initializer_list<KnobSpec> specs);
+
+    bool contains(const std::string &name) const;
+    /** The spec for @p name, or nullptr when undeclared. */
+    const KnobSpec *find(const std::string &name) const;
+    const std::vector<KnobSpec> &specs() const { return specs_; }
+
+    /** Sorted knob names. */
+    std::vector<std::string> names() const;
+    /** One comma-separated line of names() (for error messages). */
+    std::string namesLine() const;
+
+    /** Every knob at its declared default, as a Config. */
+    Config defaults() const;
+
+    /**
+     * Check every key of @p cfg against the schema. Undeclared keys and
+     * values that do not parse as the declared type produce one error
+     * string each, naming the key (with @p prefix prepended, e.g.
+     * "scheme.offchip."), the offending component (@p component, e.g.
+     * "off-chip predictor 'hermes'"), and the declared knobs.
+     */
+    std::vector<std::string> check(const Config &cfg,
+                                   const std::string &component,
+                                   const std::string &prefix = "") const;
+
+    /** check() that throws one ConfigError joining every offence. */
+    void validate(const Config &cfg, const std::string &component,
+                  const std::string &prefix = "") const;
+
+    /** Formatted knob reference (one line per knob; tlpsim --knobs). */
+    std::string reference(const std::string &indent = "  ") const;
+
+  private:
+    std::vector<KnobSpec> specs_;
+};
+
+/**
+ * Schema-checked Config reader for registry builders. Getters fall back
+ * to the schema's declared default when the key is absent, so a
+ * component's extraction code, its --knobs listing, and its effective
+ * design-point fingerprint can never disagree about a default.
+ */
+class Knobs
+{
+  public:
+    /** @p component labels errors, e.g. "prefetcher 'berti'". */
+    Knobs(const Config &cfg, const KnobSchema &schema,
+          std::string component);
+
+    std::string str(const std::string &key) const;
+    std::int32_t i32(const std::string &key) const;
+    std::uint32_t u32(const std::string &key) const;
+    std::uint64_t u64(const std::string &key) const;
+    double num(const std::string &key) const;
+    bool flag(const std::string &key) const;
+
+  private:
+    /** The declared spec for @p key; throws ConfigError when the builder
+     *  reads a knob the schema never declared, or with the wrong type or
+     *  width (@p bits; 0 = width-free type). */
+    const KnobSpec &expect(const std::string &key, KnobType t,
+                           unsigned bits = 0) const;
+
+    const Config &cfg_;
+    const KnobSchema &schema_;
+    std::string component_;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_KNOBS_HH

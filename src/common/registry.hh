@@ -1,6 +1,6 @@
 /**
  * @file
- * String-keyed component registry.
+ * String-keyed component registry with declared knob schemas.
  *
  * Registry<T, Extra...> maps names to builder functions producing
  * unique_ptr<T> from a Config (plus any extra wiring arguments, e.g. the
@@ -8,6 +8,18 @@
  * themselves — adding a new prefetcher, filter, or off-chip predictor is
  * one Registry::add call in the component's own translation unit, not a
  * core-header edit — and configs select them by name.
+ *
+ * A registration carries a KnobSchema (common/knobs.hh) declaring every
+ * tuning knob the builder consumes: build() validates its Config against
+ * the schema, so a misspelled or wrongly-typed key in a forwarded
+ * subtree (scheme.offchip.*, l1d.prefetcher.*, ...) throws a ConfigError
+ * naming the key and the component's declared knobs instead of being
+ * silently ignored. The schema is also the component's documentation —
+ * `tlpsim --knobs` renders it — which makes the registry a
+ * self-describing API: a new backend documents its knob set to join.
+ * The schema-less add() overload survives for out-of-tree components
+ * that have not declared knobs yet; their configs pass through
+ * unvalidated and --knobs marks them as undeclared.
  *
  * Lookup failures throw ConfigError listing every registered name, so a
  * typo in a config file tells the user exactly what is available.
@@ -25,10 +37,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/knobs.hh"
 
 namespace tlpsim
 {
@@ -52,21 +66,35 @@ class Registry
     void setKind(std::string kind) { kind_ = std::move(kind); }
     const std::string &kind() const { return kind_; }
 
-    /** Register @p builder under @p name. Re-registering the same name is
-     *  an error (catches copy-paste slips at startup). */
+    /** Register @p builder under @p name with its declared knob schema;
+     *  build() validates configs against it. Re-registering the same
+     *  name is an error (catches copy-paste slips at startup). */
+    void
+    add(const std::string &name, KnobSchema schema, Builder builder)
+    {
+        addEntry(name, Entry{std::move(builder), std::move(schema)});
+    }
+
+    /** Register @p builder without a schema (out-of-tree components that
+     *  have not declared knobs): configs pass through unvalidated. */
     void
     add(const std::string &name, Builder builder)
     {
-        auto [it, inserted] = builders_.emplace(name, std::move(builder));
-        if (!inserted) {
-            throw ConfigError(kind_ + " '" + name
-                              + "' is already registered");
-        }
+        addEntry(name, Entry{std::move(builder), std::nullopt});
     }
 
     bool contains(const std::string &name) const
     {
         return builders_.count(name) > 0;
+    }
+
+    /** Declared knob schema of @p name, or nullptr when the component
+     *  registered without one. Throws ConfigError on unknown names. */
+    const KnobSchema *
+    knobs(const std::string &name) const
+    {
+        const Entry &e = entry(name);
+        return e.schema ? &*e.schema : nullptr;
     }
 
     /** Sorted names of every registered builder. */
@@ -75,7 +103,7 @@ class Registry
     {
         std::vector<std::string> out;
         out.reserve(builders_.size());
-        for (const auto &[name, b] : builders_)
+        for (const auto &[name, e] : builders_)
             out.push_back(name);
         return out;
     }
@@ -84,27 +112,55 @@ class Registry
     std::string namesLine() const { return joinNames(names()); }
 
     /** Build the component registered as @p name. Throws ConfigError
-     *  naming every valid choice if @p name is unknown. */
+     *  naming every valid choice if @p name is unknown, and — when the
+     *  component declared a schema — naming the declared knobs if @p cfg
+     *  holds a key no schema entry consumes or a wrongly-typed value. */
     std::unique_ptr<T>
     build(const std::string &name, const Config &cfg, Extra... extra) const
+    {
+        const Entry &e = entry(name);
+        if (e.schema)
+            e.schema->validate(cfg, kind_ + " '" + name + "'");
+        return e.builder(cfg, extra...);
+    }
+
+  private:
+    struct Entry
+    {
+        Builder builder;
+        std::optional<KnobSchema> schema;
+    };
+
+    Registry() = default;
+
+    void
+    addEntry(const std::string &name, Entry e)
+    {
+        auto [it, inserted] = builders_.emplace(name, std::move(e));
+        if (!inserted) {
+            throw ConfigError(kind_ + " '" + name
+                              + "' is already registered");
+        }
+    }
+
+    const Entry &
+    entry(const std::string &name) const
     {
         auto it = builders_.find(name);
         if (it == builders_.end()) {
             throw ConfigError("unknown " + kind_ + " '" + name
                               + "'; valid names: " + namesLine());
         }
-        return it->second(cfg, extra...);
+        return it->second;
     }
 
-  private:
-    Registry() = default;
-
     std::string kind_ = "component";
-    std::map<std::string, Builder> builders_;
+    std::map<std::string, Entry> builders_;
 };
 
 /** Static-initialization helper for out-of-tree components:
- *  `static Registrar<Prefetcher> reg("mine", [](const Config &c) {...});` */
+ *  `static Registrar<Prefetcher> reg("mine", {...knobs...},
+ *   [](const Config &c) {...});` */
 template <typename T, typename... Extra>
 struct Registrar
 {
@@ -112,6 +168,13 @@ struct Registrar
               typename Registry<T, Extra...>::Builder builder)
     {
         Registry<T, Extra...>::instance().add(name, std::move(builder));
+    }
+
+    Registrar(const std::string &name, KnobSchema schema,
+              typename Registry<T, Extra...>::Builder builder)
+    {
+        Registry<T, Extra...>::instance().add(name, std::move(schema),
+                                              std::move(builder));
     }
 };
 

@@ -123,16 +123,57 @@ OffChipPredictor::storage() const
 namespace
 {
 
-OffChipPredictor::Params
-offchipParamsFromConfig(const Config &cfg, OffChipPredictor::Params p)
+/** Both off-chip predictors share one knob set; "flp" and "hermes"
+ *  differ only in the declared defaults. */
+KnobSchema
+offchipKnobSchema(const OffChipPredictor::Params &d)
 {
-    p.name = cfg.getString("name", p.name);
-    if (cfg.has("policy"))
-        p.policy = offchipPolicyFromString(cfg.getString("policy"));
-    p.tau_high = cfg.getInt32("tau_high", p.tau_high);
-    p.tau_low = cfg.getInt32("tau_low", p.tau_low);
-    p.training_threshold = cfg.getInt32("training_threshold", p.training_threshold);
-    p.table_scale_shift = cfg.getUnsigned32("table_scale_shift", p.table_scale_shift);
+    return KnobSchema{
+        {"name", d.name, "stat-counter prefix (per-cpu by default)"},
+        {"policy", toString(d.policy),
+         "speculative-request policy: immediate, always_delay, selective",
+         {"none", "immediate", "always_delay", "selective"}},
+        {"tau_high", d.tau_high,
+         "immediate-fire threshold (Hermes tau_act / FLP tau_high)"},
+        {"tau_low", d.tau_low,
+         "predicted-off-chip threshold (FLP tau_low)"},
+        {"training_threshold", d.training_threshold,
+         "train while |sum| is below this magnitude"},
+        {"table_scale_shift", d.table_scale_shift,
+         "left-shift on perceptron table sizes (Fig. 17 \"+7KB Hermes\")"},
+    };
+}
+
+const KnobSchema &
+flpKnobs()
+{
+    static const KnobSchema schema
+        = offchipKnobSchema(OffChipPredictor::Params{});
+    return schema;
+}
+
+const KnobSchema &
+hermesKnobs()
+{
+    static const KnobSchema schema = [] {
+        OffChipPredictor::Params d;
+        d.policy = OffchipPolicy::Immediate;
+        d.tau_high = 4;
+        return offchipKnobSchema(d);
+    }();
+    return schema;
+}
+
+OffChipPredictor::Params
+offchipParamsFromKnobs(const Knobs &k)
+{
+    OffChipPredictor::Params p;
+    p.name = k.str("name");
+    p.policy = offchipPolicyFromString(k.str("policy"));
+    p.tau_high = k.i32("tau_high");
+    p.tau_low = k.i32("tau_low");
+    p.training_threshold = k.i32("training_threshold");
+    p.table_scale_shift = k.u32("table_scale_shift");
     return p;
 }
 
@@ -143,20 +184,18 @@ detail::registerOffchipPredictors()
 {
     // The paper's FLP: selective-delay defaults.
     OffchipRegistry::instance().add(
-        "flp", [](const Config &cfg, StatGroup *stats) {
+        "flp", flpKnobs(), [](const Config &cfg, StatGroup *stats) {
+            Knobs k(cfg, flpKnobs(), "off-chip predictor 'flp'");
             return std::make_unique<OffChipPredictor>(
-                offchipParamsFromConfig(cfg, OffChipPredictor::Params{}),
-                stats);
+                offchipParamsFromKnobs(k), stats);
         });
     // Hermes (Bera et al., MICRO 2022): one aggressive activation
     // threshold, always-immediate speculative requests.
     OffchipRegistry::instance().add(
-        "hermes", [](const Config &cfg, StatGroup *stats) {
-            OffChipPredictor::Params defaults;
-            defaults.policy = OffchipPolicy::Immediate;
-            defaults.tau_high = 4;
+        "hermes", hermesKnobs(), [](const Config &cfg, StatGroup *stats) {
+            Knobs k(cfg, hermesKnobs(), "off-chip predictor 'hermes'");
             return std::make_unique<OffChipPredictor>(
-                offchipParamsFromConfig(cfg, defaults), stats);
+                offchipParamsFromKnobs(k), stats);
         });
 }
 

@@ -85,20 +85,47 @@ Slp::storage() const
     return b;
 }
 
+namespace
+{
+
+const KnobSchema &
+slpKnobs()
+{
+    static const KnobSchema schema = [] {
+        const Slp::Params d;
+        return KnobSchema{
+            {"name", d.name, "stat-counter prefix (per-cpu by default)"},
+            {"tau_pref", d.tau_pref,
+             "drop threshold: sum >= tau_pref predicts off-chip"},
+            {"training_threshold", d.training_threshold,
+             "train while |sum| is below this magnitude"},
+            {"use_flp_feature", d.use_flp_feature,
+             "feed the FLP confidence output in as a feature"},
+            {"table_scale_shift", d.table_scale_shift,
+             "left-shift on perceptron table sizes"},
+            {"probation_period", d.probation_period,
+             "issue every Nth predicted-off-chip prefetch anyway (0 = "
+             "never)"},
+        };
+    }();
+    return schema;
+}
+
+} // namespace
+
 void
 detail::registerSlpFilter()
 {
     FilterRegistry::instance().add(
-        "slp", [](const Config &cfg, StatGroup *stats) {
+        "slp", slpKnobs(), [](const Config &cfg, StatGroup *stats) {
+            Knobs k(cfg, slpKnobs(), "prefetch filter 'slp'");
             Slp::Params p;
-            p.name = cfg.getString("name", p.name);
-            p.tau_pref
-                = cfg.getInt32("tau_pref", p.tau_pref);
-            p.training_threshold = cfg.getInt32("training_threshold", p.training_threshold);
-            p.use_flp_feature
-                = cfg.getBool("use_flp_feature", p.use_flp_feature);
-            p.table_scale_shift = cfg.getUnsigned32("table_scale_shift", p.table_scale_shift);
-            p.probation_period = cfg.getUnsigned32("probation_period", p.probation_period);
+            p.name = k.str("name");
+            p.tau_pref = k.i32("tau_pref");
+            p.training_threshold = k.i32("training_threshold");
+            p.use_flp_feature = k.flag("use_flp_feature");
+            p.table_scale_shift = k.u32("table_scale_shift");
+            p.probation_period = k.u32("probation_period");
             return std::make_unique<Slp>(p, stats);
         });
 }

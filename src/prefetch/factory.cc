@@ -50,6 +50,39 @@ offchipRegistry()
     return OffchipRegistry::instance();
 }
 
+std::string
+knobReference(const std::string &component)
+{
+    ensureBuiltins();
+    std::string out;
+    bool found = false;
+    auto sweep = [&](const auto &reg) {
+        for (const std::string &name : reg.names()) {
+            if (!component.empty() && name != component)
+                continue;
+            if (!out.empty())
+                out += "\n";
+            out += reg.kind() + " " + name + "\n";
+            if (const KnobSchema *ks = reg.knobs(name); ks != nullptr)
+                out += ks->reference();
+            else
+                out += "  (knobs not declared)\n";
+            found = true;
+        }
+    };
+    sweep(prefetcherRegistry());
+    sweep(filterRegistry());
+    sweep(offchipRegistry());
+    if (!component.empty() && !found) {
+        throw ConfigError(
+            "unknown component '" + component + "'; valid names: "
+            + prefetcherRegistry().namesLine() + ", "
+            + filterRegistry().namesLine() + ", "
+            + offchipRegistry().namesLine());
+    }
+    return out;
+}
+
 const char *
 toString(L1Prefetcher p)
 {
@@ -78,9 +111,14 @@ makeL1Prefetcher(L1Prefetcher kind, unsigned table_scale_shift)
 {
     if (kind == L1Prefetcher::None)
         return nullptr;
+    const char *name = toString(kind);
     Config cfg;
-    cfg.set("table_scale_shift", table_scale_shift);
-    return prefetcherRegistry().build(toString(kind), cfg);
+    // Not every L1 prefetcher has tables to scale (next_line): only pass
+    // the knob where it is declared, matching the Simulator's injection.
+    const KnobSchema *ks = prefetcherRegistry().knobs(name);
+    if (ks != nullptr && ks->contains("table_scale_shift"))
+        cfg.set("table_scale_shift", table_scale_shift);
+    return prefetcherRegistry().build(name, cfg);
 }
 
 std::unique_ptr<Prefetcher>

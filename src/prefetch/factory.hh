@@ -41,6 +41,14 @@ FilterRegistry &filterRegistry();
 /** The off-chip predictor registry (flp, hermes), built-ins registered. */
 OffchipRegistry &offchipRegistry();
 
+/**
+ * Generated declared-knob reference across all three registries
+ * (`tlpsim --knobs`): one block per component listing every knob's name,
+ * type, default, and description. @p component filters to one component;
+ * unknown names throw ConfigError listing every registered component.
+ */
+std::string knobReference(const std::string &component = "");
+
 namespace detail
 {
 // Built-in registration hooks, each defined in its component's .cc and

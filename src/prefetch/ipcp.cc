@@ -168,25 +168,56 @@ IpcpPrefetcher::storage() const
     return b;
 }
 
+namespace
+{
+
+const KnobSchema &
+ipcpKnobs()
+{
+    static const KnobSchema schema = [] {
+        const IpcpPrefetcher::Params d;
+        return KnobSchema{
+            {"ip_table_entries", d.ip_table_entries,
+             "IP classification table entries"},
+            {"cspt_entries", d.cspt_entries,
+             "complex-stride prediction table entries"},
+            {"region_entries", d.region_entries,
+             "tracked global-stream regions"},
+            {"region_lines", d.region_lines,
+             "lines in a tracked GS region"},
+            {"gs_dense_threshold", d.gs_dense_threshold,
+             "dense-region threshold for GS classification"},
+            {"cs_degree", d.cs_degree, "constant-stride prefetch degree"},
+            {"cplx_degree", d.cplx_degree,
+             "complex-stride prefetch degree"},
+            {"gs_degree", d.gs_degree, "global-stream prefetch degree"},
+            {"table_scale_shift", d.table_scale_shift,
+             "left-shift on table sizes (Fig. 17 \"+7KB IPCP\")"},
+        };
+    }();
+    return schema;
+}
+
+} // namespace
+
 void
 detail::registerIpcpPrefetcher()
 {
-    PrefetcherRegistry::instance().add("ipcp", [](const Config &cfg) {
-        IpcpPrefetcher::Params p;
-        auto u = [&cfg](const char *key, unsigned def) {
-            return cfg.getUnsigned32(key, def);
-        };
-        p.ip_table_entries = u("ip_table_entries", p.ip_table_entries);
-        p.cspt_entries = u("cspt_entries", p.cspt_entries);
-        p.region_entries = u("region_entries", p.region_entries);
-        p.region_lines = u("region_lines", p.region_lines);
-        p.gs_dense_threshold = u("gs_dense_threshold", p.gs_dense_threshold);
-        p.cs_degree = u("cs_degree", p.cs_degree);
-        p.cplx_degree = u("cplx_degree", p.cplx_degree);
-        p.gs_degree = u("gs_degree", p.gs_degree);
-        p.table_scale_shift = u("table_scale_shift", p.table_scale_shift);
-        return std::make_unique<IpcpPrefetcher>(p);
-    });
+    PrefetcherRegistry::instance().add(
+        "ipcp", ipcpKnobs(), [](const Config &cfg) {
+            Knobs k(cfg, ipcpKnobs(), "prefetcher 'ipcp'");
+            IpcpPrefetcher::Params p;
+            p.ip_table_entries = k.u32("ip_table_entries");
+            p.cspt_entries = k.u32("cspt_entries");
+            p.region_entries = k.u32("region_entries");
+            p.region_lines = k.u32("region_lines");
+            p.gs_dense_threshold = k.u32("gs_dense_threshold");
+            p.cs_degree = k.u32("cs_degree");
+            p.cplx_degree = k.u32("cplx_degree");
+            p.gs_degree = k.u32("gs_degree");
+            p.table_scale_shift = k.u32("table_scale_shift");
+            return std::make_unique<IpcpPrefetcher>(p);
+        });
 }
 
 } // namespace tlpsim

@@ -5,13 +5,28 @@
 namespace tlpsim
 {
 
+namespace
+{
+
+const KnobSchema &
+nextLineKnobs()
+{
+    static const KnobSchema schema{
+        {"degree", 1u, "lines prefetched ahead of each access"},
+    };
+    return schema;
+}
+
+} // namespace
+
 void
 detail::registerNextLinePrefetcher()
 {
-    PrefetcherRegistry::instance().add("next_line", [](const Config &cfg) {
-        auto degree = cfg.getUnsigned32("degree", 1);
-        return std::make_unique<NextLinePrefetcher>(degree);
-    });
+    PrefetcherRegistry::instance().add(
+        "next_line", nextLineKnobs(), [](const Config &cfg) {
+            Knobs k(cfg, nextLineKnobs(), "prefetcher 'next_line'");
+            return std::make_unique<NextLinePrefetcher>(k.u32("degree"));
+        });
 }
 
 } // namespace tlpsim

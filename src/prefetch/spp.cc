@@ -130,25 +130,52 @@ SppPrefetcher::storage() const
     return b;
 }
 
+namespace
+{
+
+const KnobSchema &
+sppKnobs()
+{
+    static const KnobSchema schema = [] {
+        const SppPrefetcher::Params d;
+        return KnobSchema{
+            {"signature_table_entries", d.signature_table_entries,
+             "signature table entries"},
+            {"pattern_table_entries", d.pattern_table_entries,
+             "pattern table entries"},
+            {"deltas_per_pattern", d.deltas_per_pattern,
+             "delta slots per pattern entry"},
+            {"max_lookahead", d.max_lookahead,
+             "maximum lookahead depth per trigger"},
+            {"lookahead_cutoff", d.lookahead_cutoff,
+             "stop the lookahead below this path confidence (percent)"},
+            {"fill_threshold", d.fill_threshold,
+             "fill L2 at or above this confidence, else demote to LLC"},
+            {"aggressive", d.aggressive,
+             "PPF companion mode: prefetch more, let the filter prune"},
+        };
+    }();
+    return schema;
+}
+
+} // namespace
+
 void
 detail::registerSppPrefetcher()
 {
-    PrefetcherRegistry::instance().add("spp", [](const Config &cfg) {
-        SppPrefetcher::Params p;
-        auto u = [&cfg](const char *key, unsigned def) {
-            return cfg.getUnsigned32(key, def);
-        };
-        p.signature_table_entries
-            = u("signature_table_entries", p.signature_table_entries);
-        p.pattern_table_entries
-            = u("pattern_table_entries", p.pattern_table_entries);
-        p.deltas_per_pattern = u("deltas_per_pattern", p.deltas_per_pattern);
-        p.max_lookahead = u("max_lookahead", p.max_lookahead);
-        p.lookahead_cutoff = u("lookahead_cutoff", p.lookahead_cutoff);
-        p.fill_threshold = u("fill_threshold", p.fill_threshold);
-        p.aggressive = cfg.getBool("aggressive", p.aggressive);
-        return std::make_unique<SppPrefetcher>(p);
-    });
+    PrefetcherRegistry::instance().add(
+        "spp", sppKnobs(), [](const Config &cfg) {
+            Knobs k(cfg, sppKnobs(), "prefetcher 'spp'");
+            SppPrefetcher::Params p;
+            p.signature_table_entries = k.u32("signature_table_entries");
+            p.pattern_table_entries = k.u32("pattern_table_entries");
+            p.deltas_per_pattern = k.u32("deltas_per_pattern");
+            p.max_lookahead = k.u32("max_lookahead");
+            p.lookahead_cutoff = k.u32("lookahead_cutoff");
+            p.fill_threshold = k.u32("fill_threshold");
+            p.aggressive = k.flag("aggressive");
+            return std::make_unique<SppPrefetcher>(p);
+        });
 }
 
 } // namespace tlpsim

@@ -23,10 +23,12 @@ jobsFromEnv()
 std::string
 configKey(const SystemConfig &cfg)
 {
-    // The full declarative dump: every tunable field participates, so two
-    // design points that differ anywhere (a tau, a queue depth, a
-    // component name) can never share a memoized result.
-    return cfg.toConfig().serialize();
+    // The full *effective* dump: every tunable field participates — with
+    // each deployed component's subtree expanded to its declared schema
+    // defaults overlaid with the configured knobs — so two design points
+    // that differ anywhere (a tau, a queue depth, a component default
+    // that changed between builds) can never share a memoized result.
+    return cfg.effectiveConfig().serialize();
 }
 
 std::string

@@ -47,7 +47,8 @@ namespace tlpsim::experiment
 unsigned jobsFromEnv();
 
 /** Fingerprint of every SystemConfig field the simulation depends on
- *  (the serialized SystemConfig::toConfig dump). */
+ *  (the serialized SystemConfig::effectiveConfig dump, which expands
+ *  each deployed component's declared knob defaults). */
 std::string configKey(const SystemConfig &cfg);
 
 /** Short human-readable design-point label for progress logging. */

@@ -176,19 +176,18 @@ Simulator::build()
         const SchemeConfig &sch = cfg_.scheme;
 
         // Components are built through the string-keyed registries: the
-        // scheme names what is deployed, the named knobs supply the
-        // paper's tuning, and the per-component subtree (scheme.offchip.*
-        // et al.) overlays arbitrary builder-defined keys on top — so
-        // new backends drop in via registration plus config alone.
+        // scheme names what is deployed, and the buildConfig helpers
+        // (shared with SystemConfig::effectiveConfig, so the fingerprint
+        // matches construction) assemble the named paper knobs plus the
+        // forwarded subtree (scheme.offchip.* et al.) — so new backends
+        // drop in via registration plus config alone. build() validates
+        // every key against the component's declared knob schema. Only
+        // the per-cpu stat name is injected here, and a user-set "name"
+        // subtree key still wins.
         if (sch.hasOffchip()) {
-            Config oc;
-            oc.set("name", cpu + ".flp");
-            oc.set("policy", toString(sch.offchip_policy));
-            oc.set("tau_high", sch.tau_high);
-            oc.set("tau_low", sch.tau_low);
-            oc.set("training_threshold", sch.offchip_training_threshold);
-            oc.set("table_scale_shift", sch.offchip_table_scale);
-            oc.merge(sch.offchip_params);
+            Config oc = sch.offchipBuildConfig();
+            if (!oc.has("name"))
+                oc.set("name", cpu + ".flp");
             offchip_.push_back(
                 offchipRegistry().build(sch.offchip, oc, &stats_));
         } else {
@@ -196,11 +195,9 @@ Simulator::build()
         }
 
         if (sch.hasL1Filter()) {
-            Config fc;
-            fc.set("name", cpu + "." + sch.l1_filter);
-            fc.set("tau_pref", sch.slp_tau_pref);
-            fc.set("use_flp_feature", sch.slp_flp_feature);
-            fc.merge(sch.l1_filter_params);
+            Config fc = sch.l1FilterBuildConfig();
+            if (!fc.has("name"))
+                fc.set("name", cpu + "." + sch.l1_filter);
             l1_filter_.push_back(
                 filterRegistry().build(sch.l1_filter, fc, &stats_));
         } else {
@@ -208,9 +205,9 @@ Simulator::build()
         }
 
         if (sch.hasL2Filter()) {
-            Config fc;
-            fc.set("name", cpu + "." + sch.l2_filter);
-            fc.merge(sch.l2_filter_params);
+            Config fc = sch.l2FilterBuildConfig();
+            if (!fc.has("name"))
+                fc.set("name", cpu + "." + sch.l2_filter);
             l2_filter_.push_back(
                 filterRegistry().build(sch.l2_filter, fc, &stats_));
         } else {
@@ -218,23 +215,15 @@ Simulator::build()
         }
 
         if (!cfg_.l1_prefetcher.empty()) {
-            Config pc;
-            pc.set("table_scale_shift", cfg_.l1_pf_table_scale);
-            pc.merge(cfg_.l1_pf_params);
-            l1_pf_.push_back(
-                prefetcherRegistry().build(cfg_.l1_prefetcher, pc));
+            l1_pf_.push_back(prefetcherRegistry().build(
+                cfg_.l1_prefetcher, cfg_.l1PrefetcherBuildConfig()));
         } else {
             l1_pf_.push_back(nullptr);
         }
 
         if (!cfg_.l2_prefetcher.empty()) {
-            // The PPF-companion tuning (§V-E): with an L2 filter deployed
-            // the L2 prefetcher runs aggressive and lets the filter prune.
-            Config pc;
-            pc.set("aggressive", sch.hasL2Filter());
-            pc.merge(cfg_.l2_pf_params);
-            l2_pf_.push_back(
-                prefetcherRegistry().build(cfg_.l2_prefetcher, pc));
+            l2_pf_.push_back(prefetcherRegistry().build(
+                cfg_.l2_prefetcher, cfg_.l2PrefetcherBuildConfig()));
         } else {
             l2_pf_.push_back(nullptr);
         }

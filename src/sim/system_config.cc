@@ -161,6 +161,44 @@ renderComponentName(const std::string &name)
     return name.empty() ? none : name;
 }
 
+/** set(key, value) on @p out only when the schema is absent (component
+ *  without declared knobs) or declares @p key — the named paper knobs
+ *  (tau_high, table_scale_shift, ...) are injected only into components
+ *  that consume them. */
+struct KnobInjector
+{
+    Config &out;
+    const KnobSchema *schema;
+
+    template <typename V>
+    void
+    operator()(const char *key, V &&value) const
+    {
+        if (schema == nullptr || schema->contains(key))
+            out.set(key, std::forward<V>(value));
+    }
+};
+
+/**
+ * Knob-schema check of one forwarded component subtree: every key of
+ * @p params must be a knob @p component declared (with a well-typed
+ * value). Returns one error string per offence, keys prefixed with
+ * @p prefix ("scheme.offchip."). Slots without a component, and
+ * components registered without a schema, have nothing to check.
+ */
+template <typename Reg>
+std::vector<std::string>
+subtreeKnobErrors(const Reg &reg, const std::string &component,
+                  const Config &params, const std::string &prefix)
+{
+    if (component.empty() || params.empty())
+        return {};
+    const KnobSchema *ks = reg.knobs(component);
+    if (ks == nullptr)
+        return {};
+    return ks->check(params, reg.kind() + " '" + component + "'", prefix);
+}
+
 } // namespace
 
 SchemeConfig
@@ -272,6 +310,36 @@ SchemeConfig::fromConfig(const Config &cfg, const SchemeConfig &defaults)
                             "(valid names: "
                           + offchipRegistry().namesLine() + ")");
     }
+
+    // Unknown relative keys ("scheme.bogus") — everything understood was
+    // consumed by a getter above or forwarded by a sub() — and the
+    // misspelled-tuning-key net: every forwarded subtree key must be a
+    // knob its component declared, every offender reported at once.
+    std::vector<std::string> errors;
+    if (std::vector<std::string> stray = cfg.unconsumedKeys();
+        !stray.empty()) {
+        std::vector<std::string> valid;
+        for (const std::string &k : SchemeConfig{}.toConfig().keys())
+            valid.push_back("scheme." + k);
+        for (const std::string &key : stray) {
+            errors.push_back(
+                "unknown config key 'scheme." + key + "'; valid scheme "
+                "keys: " + joinNames(valid)
+                + " (and the scheme.offchip.*, scheme.l1_filter.*, "
+                  "scheme.l2_filter.* component subtrees)");
+        }
+    }
+    for (std::vector<std::string> slot_errors :
+         {subtreeKnobErrors(offchipRegistry(), s.offchip, s.offchip_params,
+                            "scheme.offchip."),
+          subtreeKnobErrors(filterRegistry(), s.l1_filter,
+                            s.l1_filter_params, "scheme.l1_filter."),
+          subtreeKnobErrors(filterRegistry(), s.l2_filter,
+                            s.l2_filter_params, "scheme.l2_filter.")}) {
+        errors.insert(errors.end(), slot_errors.begin(), slot_errors.end());
+    }
+    if (!errors.empty())
+        throwConfigErrors(errors);
     return s;
 }
 
@@ -297,6 +365,45 @@ SchemeConfig::toConfig() const
     for (const std::string &k : l2_filter_params.keys())
         c.set("l2_filter." + k, l2_filter_params.getString(k));
     return c;
+}
+
+Config
+SchemeConfig::offchipBuildConfig() const
+{
+    Config oc;
+    if (!hasOffchip())
+        return oc;
+    KnobInjector inject{oc, offchipRegistry().knobs(offchip)};
+    inject("policy", toString(offchip_policy));
+    inject("tau_high", tau_high);
+    inject("tau_low", tau_low);
+    inject("training_threshold", offchip_training_threshold);
+    inject("table_scale_shift", offchip_table_scale);
+    oc.merge(offchip_params);
+    return oc;
+}
+
+Config
+SchemeConfig::l1FilterBuildConfig() const
+{
+    Config fc;
+    if (!hasL1Filter())
+        return fc;
+    KnobInjector inject{fc, filterRegistry().knobs(l1_filter)};
+    inject("tau_pref", slp_tau_pref);
+    inject("use_flp_feature", slp_flp_feature);
+    fc.merge(l1_filter_params);
+    return fc;
+}
+
+Config
+SchemeConfig::l2FilterBuildConfig() const
+{
+    Config fc;
+    if (!hasL2Filter())
+        return fc;
+    fc.merge(l2_filter_params);
+    return fc;
 }
 
 // ----------------------------------------------------------- SystemConfig
@@ -465,6 +572,29 @@ SystemConfig::fromConfig(const Config &cfg)
                               + prefetcherRegistry().namesLine());
         }
     }
+    // Prefetcher tuning subtrees: every forwarded key must be a knob the
+    // deployed prefetcher declared; a subtree under an empty slot tunes
+    // nothing and is rejected as the typo it almost certainly is.
+    std::vector<std::string> knob_errors;
+    auto check_pf_subtree = [&knob_errors](const std::string &slot,
+                                           const std::string &name,
+                                           const Config &params) {
+        if (name.empty() && !params.empty()) {
+            for (const std::string &k : params.keys()) {
+                knob_errors.push_back(slot + "." + k + " is set but "
+                                      + slot + " = none deploys no "
+                                        "prefetcher to consume it");
+            }
+            return;
+        }
+        std::vector<std::string> errs = subtreeKnobErrors(
+            prefetcherRegistry(), name, params, slot + ".");
+        knob_errors.insert(knob_errors.end(), errs.begin(), errs.end());
+    };
+    check_pf_subtree("l1d.prefetcher", c.l1_prefetcher, c.l1_pf_params);
+    check_pf_subtree("l2.prefetcher", c.l2_prefetcher, c.l2_pf_params);
+    if (!knob_errors.empty())
+        throwConfigErrors(knob_errors);
 
     c.core.rob_size = getU32(cfg, "core.rob_size", c.core.rob_size);
     c.core.fetch_width = getU32(cfg, "core.fetch_width", c.core.fetch_width);
@@ -496,25 +626,32 @@ SystemConfig::fromConfig(const Config &cfg)
     c.dram.spec_buffer_entries = getU32(cfg, "dram.spec_buffer_entries",
                                         c.dram.spec_buffer_entries);
 
-    // Reject unknown keys, pointing at what exists. The known-key set is
-    // exactly what toConfig emits, plus the "scheme" preset shorthand.
-    Config known = c.toConfig();
-    known.set("scheme", "");
-    for (const std::string &key : cfg.keys()) {
-        if (known.has(key))
-            continue;
-        std::string segment = key.substr(0, key.find('.'));
-        std::vector<std::string> near;
-        for (const std::string &k : known.keys()) {
-            if (k.compare(0, segment.size() + 1, segment + ".") == 0
-                || k == segment) {
-                near.push_back(k);
+    // Reject unknown keys, pointing at what exists. Detection is
+    // consumed-key tracking — everything understood was read by a getter
+    // or forwarded by a sub() above — so a key can never be silently
+    // ignored just because some dump happens to mention it; the known-key
+    // set (what toConfig emits, plus the "scheme" preset shorthand) only
+    // shapes the suggestions. All offenders are collected into one error.
+    std::vector<std::string> stray = cfg.unconsumedKeys();
+    if (!stray.empty()) {
+        Config known = c.toConfig();
+        known.set("scheme", "");
+        std::vector<std::string> errors;
+        for (const std::string &key : stray) {
+            std::string segment = key.substr(0, key.find('.'));
+            std::vector<std::string> near;
+            for (const std::string &k : known.keys()) {
+                if (k.compare(0, segment.size() + 1, segment + ".") == 0
+                    || k == segment) {
+                    near.push_back(k);
+                }
             }
+            std::string valid = near.empty()
+                ? "valid keys: " + joinNames(known.keys())
+                : "valid '" + segment + "' keys: " + joinNames(near);
+            errors.push_back("unknown config key '" + key + "'; " + valid);
         }
-        std::string valid = near.empty()
-            ? "valid keys: " + joinNames(known.keys())
-            : "valid '" + segment + "' keys: " + joinNames(near);
-        throw ConfigError("unknown config key '" + key + "'; " + valid);
+        throwConfigErrors(errors);
     }
     return c;
 }
@@ -566,6 +703,69 @@ SystemConfig::toConfig() const
     c.set("dram.rq_size", dram.rq_size);
     c.set("dram.wq_size", dram.wq_size);
     c.set("dram.spec_buffer_entries", dram.spec_buffer_entries);
+    return c;
+}
+
+Config
+SystemConfig::l1PrefetcherBuildConfig() const
+{
+    Config pc;
+    if (l1_prefetcher.empty())
+        return pc;
+    KnobInjector inject{pc, prefetcherRegistry().knobs(l1_prefetcher)};
+    inject("table_scale_shift", l1_pf_table_scale);
+    pc.merge(l1_pf_params);
+    return pc;
+}
+
+Config
+SystemConfig::l2PrefetcherBuildConfig() const
+{
+    Config pc;
+    if (l2_prefetcher.empty())
+        return pc;
+    // The PPF-companion tuning (§V-E): with an L2 filter deployed the L2
+    // prefetcher runs aggressive and lets the filter prune.
+    KnobInjector inject{pc, prefetcherRegistry().knobs(l2_prefetcher)};
+    inject("aggressive", scheme.hasL2Filter());
+    pc.merge(l2_pf_params);
+    return pc;
+}
+
+Config
+SystemConfig::effectiveConfig() const
+{
+    Config c = toConfig();
+    auto expand = [&c](const std::string &prefix, const KnobSchema *ks,
+                       const Config &built) {
+        Config eff = ks != nullptr ? ks->defaults() : Config{};
+        eff.merge(built);
+        eff.erase("name");   // per-cpu stat prefix, injected at build time
+        for (const std::string &k : eff.keys())
+            c.set(prefix + k, eff.getString(k));
+    };
+    if (scheme.hasOffchip()) {
+        expand("scheme.offchip.", offchipRegistry().knobs(scheme.offchip),
+               scheme.offchipBuildConfig());
+    }
+    if (scheme.hasL1Filter()) {
+        expand("scheme.l1_filter.",
+               filterRegistry().knobs(scheme.l1_filter),
+               scheme.l1FilterBuildConfig());
+    }
+    if (scheme.hasL2Filter()) {
+        expand("scheme.l2_filter.",
+               filterRegistry().knobs(scheme.l2_filter),
+               scheme.l2FilterBuildConfig());
+    }
+    if (!l1_prefetcher.empty()) {
+        expand("l1d.prefetcher.", prefetcherRegistry().knobs(l1_prefetcher),
+               l1PrefetcherBuildConfig());
+    }
+    if (!l2_prefetcher.empty()) {
+        expand("l2.prefetcher.", prefetcherRegistry().knobs(l2_prefetcher),
+               l2PrefetcherBuildConfig());
+    }
     return c;
 }
 

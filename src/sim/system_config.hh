@@ -101,14 +101,35 @@ struct SchemeConfig
     static std::vector<SchemeConfig> ablationSchemes();
 
     // --- declarative config ---------------------------------------------
-    /** Apply relative keys ("offchip", "tau_high", ...) over @p defaults;
-     *  validates registry names and policy consistency. */
+    /**
+     * Apply relative keys ("offchip", "tau_high", ...) over @p defaults;
+     * validates registry names, policy consistency, and — for every
+     * deployed component that declared a KnobSchema — the forwarded
+     * subtree: unknown keys under "offchip.", "l1_filter.", "l2_filter."
+     * and wrongly-typed values are collected across all three slots and
+     * thrown as one ConfigError naming each offending key and the
+     * component's declared knobs. Unknown relative keys ("bogus") are
+     * rejected via consumed-key tracking.
+     */
     static SchemeConfig fromConfig(const Config &cfg,
                                    const SchemeConfig &defaults);
     static SchemeConfig fromConfig(const Config &cfg);
 
     /** Relative-key rendering; fromConfig(toConfig()) == *this. */
     Config toConfig() const;
+
+    // --- component builder configs --------------------------------------
+    /**
+     * The exact Config the registry builder of each deployed slot
+     * receives (named knobs the component declares, overlaid with the
+     * forwarded subtree), minus the per-cpu stat "name" the Simulator
+     * injects. Shared by the Simulator (construction) and
+     * SystemConfig::effectiveConfig (fingerprinting), so the fingerprint
+     * can never disagree with what is built.
+     */
+    Config offchipBuildConfig() const;
+    Config l1FilterBuildConfig() const;
+    Config l2FilterBuildConfig() const;
 };
 
 /** Full system configuration. */
@@ -160,6 +181,23 @@ struct SystemConfig
     /** Full dump of every tunable field; fromConfig(toConfig()) == *this
      *  and serialize(toConfig()) is a complete, reparseable config file. */
     Config toConfig() const;
+
+    /**
+     * toConfig() with every deployed component's subtree expanded to its
+     * full effective knob set: declared schema defaults overlaid with
+     * the named knobs and user-set subtree keys (the per-cpu stat "name"
+     * excluded). This is the Runner fingerprint (experiment::configKey):
+     * it captures effective — not just user-set — knob values, so a
+     * changed component default can never silently alias two different
+     * design points. Re-parsing an effectiveConfig() dump reproduces the
+     * same design point (expansion is idempotent).
+     */
+    Config effectiveConfig() const;
+
+    /** Builder configs of the prefetcher slots (cf. the SchemeConfig
+     *  helpers): named knobs the component declares + forwarded subtree. */
+    Config l1PrefetcherBuildConfig() const;
+    Config l2PrefetcherBuildConfig() const;
 
     /** DRAM burst occupancy for the configured bandwidth. */
     unsigned burstCycles() const;
