@@ -23,13 +23,19 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/diag.hh"
 #include "sim/runner.hh"
+#include "store/result_store.hh"
 #include "workloads/workload.hh"
 
 using namespace tlpsim;
@@ -72,6 +78,25 @@ modes (default: run the configured workloads/mixes once):
                     tuning keys with type, default, description; NAME
                     filters to one component) and exit
 
+persistent sweeps (README "Persistent sweeps"):
+  --store DIR       crash-safe on-disk result store: every completed
+                    design point persists as a checksummed row keyed by
+                    its effective-config fingerprint; stored points are
+                    served without simulating (config key: store.dir)
+  --resume          rerun an interrupted sweep: requires --store; only
+                    missing, quarantined, or previously-failed points
+                    simulate (store.resume)
+  --shard I/N       deterministic fingerprint partition: this process
+                    runs only its 1/N of the grid; shards share a store
+                    and merge by union (store.shard)
+  --timeout S       wall-clock budget per design point in seconds; a
+                    point that exceeds it gets one retry, then a
+                    structured failure row, and the sweep continues
+                    (store.timeout_s; exit code 3 if any point failed)
+  --out FILE        stream one JSONL row per completed point, flushed as
+                    points finish — a crashed run's partial output stays
+                    usable (store.out)
+
 execution:
   --jobs N          worker threads (default: TLPSIM_JOBS or all cores)
   --help            this text
@@ -97,6 +122,11 @@ struct Options
     bool knobs = false;
     std::string knobs_component;   ///< "" = every component
     unsigned jobs = 0;   ///< 0 = TLPSIM_JOBS / hardware default
+    std::string store_dir;         ///< "" = no persistent store
+    bool resume = false;
+    std::string shard;             ///< "i/N"; "" = unsharded
+    std::string timeout;           ///< seconds; "" = no watchdog
+    std::string out_jsonl;         ///< "" = no streamed output
 };
 
 [[noreturn]] void
@@ -161,6 +191,20 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (arg == "--jobs") {
             o.jobs = parsePositive(need_value(i, "--jobs"), "--jobs");
+            ++i;
+        } else if (arg == "--store") {
+            o.store_dir = need_value(i, "--store");
+            ++i;
+        } else if (arg == "--resume") {
+            o.resume = true;
+        } else if (arg == "--shard") {
+            o.shard = need_value(i, "--shard");
+            ++i;
+        } else if (arg == "--timeout") {
+            o.timeout = need_value(i, "--timeout");
+            ++i;
+        } else if (arg == "--out") {
+            o.out_jsonl = need_value(i, "--out");
             ++i;
         } else if (arg == "--sweep") {
             o.sweep = true;
@@ -241,6 +285,153 @@ validateSchemeNames(const std::vector<std::string> &names)
     }
 }
 
+// ----- persistent sweeps ---------------------------------------------------
+
+/** The sweep-machinery knobs: where results persist, how long a point
+ *  may run, which shard of the grid this process owns. Sourced from the
+ *  "store.*" config subtree (lowest precedence) overridden by the
+ *  --store/--resume/--shard/--timeout/--out flags; consumed before
+ *  SystemConfig::fromConfig sees the tree, because they configure the
+ *  sweep, not the simulated system (and so never enter the design-point
+ *  fingerprint). */
+struct SweepOptions
+{
+    std::string store_dir;
+    bool resume = false;
+    store::ShardSpec shard;
+    double timeout_s = 0.0;
+    std::string out_jsonl;
+};
+
+SweepOptions
+sweepOptions(const Options &o, LayeredConfig &lc)
+{
+    SweepOptions sw;
+    sw.store_dir = lc.merged.getString("store.dir", "");
+    sw.resume = lc.merged.getBool("store.resume", false);
+    sw.timeout_s = lc.merged.getDouble("store.timeout_s", 0.0);
+    std::string shard_spec = lc.merged.getString("store.shard", "");
+    sw.out_jsonl = lc.merged.getString("store.out", "");
+    lc.merged.eraseSub("store");
+    lc.overrides.eraseSub("store");
+
+    if (!o.store_dir.empty())
+        sw.store_dir = o.store_dir;
+    if (o.resume)
+        sw.resume = true;
+    if (!o.shard.empty())
+        shard_spec = o.shard;
+    if (!o.timeout.empty()) {
+        Config c;
+        c.set("store.timeout_s", o.timeout);
+        sw.timeout_s = c.getDouble("store.timeout_s", 0.0);
+    }
+    if (!o.out_jsonl.empty())
+        sw.out_jsonl = o.out_jsonl;
+
+    if (!shard_spec.empty())
+        sw.shard = store::parseShardSpec(shard_spec);
+    if (sw.timeout_s < 0.0)
+        usageError("--timeout expects a non-negative number of seconds, "
+                   "got '" + std::to_string(sw.timeout_s) + "'");
+    if (sw.resume && sw.store_dir.empty())
+        usageError("--resume requires --store DIR (there is nothing to "
+                   "resume from without a store)");
+    return sw;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += static_cast<char>(c);
+        } else if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+/** JSON number rendering; non-finite values (an undefined accuracy on a
+ *  zero-prefetch point) become null rather than invalid JSON. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Streamed sweep output: one JSON object per completed design point, in
+ * completion order (not table order — that is the point: whatever
+ * finished before a crash is on disk), flushed per row. Thread-safe;
+ * the Runner invokes write() from any worker.
+ */
+class JsonlWriter
+{
+  public:
+    ~JsonlWriter()
+    {
+        if (f_ != nullptr)
+            std::fclose(f_);
+    }
+
+    void
+    open(const std::string &path)
+    {
+        f_ = std::fopen(path.c_str(), "w");
+        if (f_ == nullptr)
+            throw ConfigError("cannot open --out file '" + path + "'");
+    }
+
+    bool active() const { return f_ != nullptr; }
+
+    void
+    write(const experiment::Runner::CompletionRecord &rec)
+    {
+        std::string line = "{\"point\":\"" + jsonEscape(rec.label) + "\"";
+        line += ",\"fp\":\"" + store::fingerprintHex(rec.key) + "\"";
+        line += ",\"status\":\"";
+        line += rec.failed ? "failed" : "ok";
+        line += "\",\"source\":\"";
+        line += rec.from_store ? "store" : "sim";
+        line += "\",\"attempts\":" + std::to_string(rec.attempts);
+        if (rec.result != nullptr) {
+            const SimResult &r = *rec.result;
+            line += ",\"ipc_sum\":" + jsonNum(r.ipcTotal());
+            line += ",\"ipc_max\":" + jsonNum(r.ipcMax());
+            line += ",\"l1d_mpki\":" + jsonNum(r.mpki("l1d"));
+            line += ",\"l2c_mpki\":" + jsonNum(r.mpki("l2c"));
+            line += ",\"llc_mpki\":" + jsonNum(r.mpki("llc"));
+            line += ",\"dram_tx\":" + std::to_string(r.dramTransactions());
+            line += ",\"l1d_pf_acc\":" + jsonNum(r.l1dPrefetchAccuracy());
+            line += ",\"hit_cycle_cap\":";
+            line += r.hit_cycle_cap ? "true" : "false";
+        } else {
+            line += ",\"error\":\"" + jsonEscape(rec.error) + "\"";
+        }
+        line += "}\n";
+        std::lock_guard<std::mutex> lock(m_);
+        std::fwrite(line.data(), 1, line.size(), f_);
+        std::fflush(f_);
+    }
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::mutex m_;
+};
+
 /** The canonical per-design-point row every mode prints. @p label_col is
  *  "workload" for single-core tables, "mix" for multi-core ones (mix
  *  names are wider, hence the wider column). Multi-core tables report
@@ -280,6 +471,25 @@ printResultRow(const TablePrinter &tp, const std::string &workload,
     tp.printRow(cells);
 }
 
+/** Render one outcome: a normal metric row, or — for a design point the
+ *  watchdog recorded as a structured failure — a FAILED marker row (the
+ *  diagnostics already carry the detail; the table stays aligned). */
+void
+printOutcomeRow(const TablePrinter &tp, const std::string &label,
+                const std::string &scheme_name,
+                const experiment::Runner::Outcome &oc,
+                bool per_core_ipc = false)
+{
+    if (!oc.failed) {
+        printResultRow(tp, label, *oc.result, per_core_ipc);
+        return;
+    }
+    std::vector<std::string> cells{label, scheme_name, "FAILED"};
+    for (std::size_t i = 0; i < (per_core_ipc ? 6u : 5u); ++i)
+        cells.push_back("-");
+    tp.printRow(cells);
+}
+
 int
 run(const Options &o)
 {
@@ -311,6 +521,9 @@ run(const Options &o)
     }
 
     LayeredConfig lc = layeredConfig(o);
+    // Sweep-machinery knobs ("store.*") are consumed here, before
+    // SystemConfig::fromConfig would reject them as unknown system keys.
+    SweepOptions sw = sweepOptions(o, lc);
 
     // Mix axis sources: --mix flags plus the workload.mix config key.
     // "workload.*" keys are the workload axis, not SystemConfig fields;
@@ -424,7 +637,58 @@ run(const Options &o)
         grid.push_back(cfg);
     }
 
-    Runner runner(o.jobs == 0 ? jobsFromEnv() : o.jobs);
+    StorePolicy policy;
+    if (!sw.store_dir.empty()) {
+        if (sw.resume && !std::filesystem::exists(sw.store_dir)) {
+            throw ConfigError("--resume: store '" + sw.store_dir
+                              + "' does not exist; nothing to resume "
+                                "(drop --resume to start a fresh store)");
+        }
+        policy.store = std::make_shared<store::ResultStore>(sw.store_dir);
+        if (sw.resume) {
+            diag("store",
+                 "resume: " + std::to_string(policy.store->okRowCount())
+                     + " ok row(s) already in " + sw.store_dir);
+        }
+    }
+    policy.timeout_s = sw.timeout_s;
+
+    // The JSONL writer outlives the Runner: workers stream rows into it
+    // until the last job completes.
+    JsonlWriter jsonl;
+    Runner runner(o.jobs == 0 ? jobsFromEnv() : o.jobs, policy);
+    if (!sw.out_jsonl.empty()) {
+        jsonl.open(sw.out_jsonl);
+        runner.setOnComplete(
+            [&jsonl](const Runner::CompletionRecord &rec) {
+                jsonl.write(rec);
+            });
+    }
+
+    // Deterministic fingerprint partition: with --shard i/N this process
+    // submits (and prints) only the points it owns; the partition
+    // depends only on point keys, never on submission order or worker
+    // count, so N shards over one store union to exactly the full grid.
+    auto in_shard = [&sw](const std::string &key) {
+        return store::shardOf(key, sw.shard.count) == sw.shard.index;
+    };
+
+    // Emitted after every table: the sweep's persistence ledger, on the
+    // stable diagnostic prefix CI greps ("tlpsim: store: ..."). Exit
+    // code 3 reports "the grid completed but some points failed".
+    auto finish = [&]() -> int {
+        if (policy.store != nullptr) {
+            const auto c = policy.store->counters();
+            diag("store",
+                 "reused=" + std::to_string(runner.storeHitCount())
+                     + " simulated="
+                     + std::to_string(runner.simulatedCount()) + " failed="
+                     + std::to_string(runner.failedCount())
+                     + " quarantined=" + std::to_string(c.quarantined)
+                     + " saved=" + std::to_string(c.saved));
+        }
+        return runner.failedCount() > 0 ? 3 : 0;
+    };
 
     const bool multi_core = base.num_cores > 1 || !mix_names.empty();
     if (!multi_core) {
@@ -446,26 +710,43 @@ run(const Options &o)
                               "shows the choices");
         }
 
+        // Submit the (shard-filtered) grid up front; render in
+        // deterministic order.
+        std::size_t owned = 0;
+        for (const auto &cfg : grid) {
+            for (const auto &w : selected) {
+                if (!in_shard(singlePointKey(w, cfg)))
+                    continue;
+                runner.submitSingle(w, cfg);
+                ++owned;
+            }
+        }
         std::fprintf(stderr,
-                     "[tlpsim] %zu workload(s) x %zu scheme(s), "
+                     "[tlpsim] %zu workload(s) x %zu scheme(s)%s, "
                      "warmup=%llu sim=%llu, jobs=%u\n",
                      selected.size(), grid.size(),
+                     sw.shard.sharded()
+                         ? (" (shard " + std::to_string(sw.shard.index)
+                            + "/" + std::to_string(sw.shard.count) + ": "
+                            + std::to_string(owned) + " point(s))")
+                               .c_str()
+                         : "",
                      static_cast<unsigned long long>(base.warmup_instrs),
                      static_cast<unsigned long long>(base.sim_instrs),
                      runner.jobs());
-        // Submit the full grid up front; render in deterministic order.
-        for (const auto &cfg : grid) {
-            for (const auto &w : selected)
-                runner.submitSingle(w, cfg);
-        }
 
         TablePrinter tp = resultTable();
         tp.printHeader(o.sweep ? "tlpsim sweep" : "tlpsim run");
         for (const auto &w : selected) {
-            for (const auto &cfg : grid)
-                printResultRow(tp, w.name, runner.single(w, cfg));
+            for (const auto &cfg : grid) {
+                const std::string key = singlePointKey(w, cfg);
+                if (!in_shard(key))
+                    continue;
+                printOutcomeRow(tp, w.name, cfg.scheme.name,
+                                runner.outcome(key));
+            }
         }
-        return 0;
+        return finish();
     }
 
     // ---- multi-core: the mixes x schemes grid --------------------------
@@ -524,27 +805,41 @@ run(const Options &o)
                           "or --sweep for the generated mix set");
     }
 
+    std::size_t owned = 0;
+    for (const auto &cfg : grid) {
+        for (const auto &mix : mixes) {
+            if (!in_shard(mixPointKey(mix, cfg)))
+                continue;
+            runner.submitMix(all_workloads, mix, cfg);
+            ++owned;
+        }
+    }
     std::fprintf(stderr,
-                 "[tlpsim] %zu mix(es) x %zu scheme(s) on %u cores, "
+                 "[tlpsim] %zu mix(es) x %zu scheme(s) on %u cores%s, "
                  "warmup=%llu sim=%llu, jobs=%u\n",
                  mixes.size(), grid.size(), base.num_cores,
+                 sw.shard.sharded()
+                     ? (" (shard " + std::to_string(sw.shard.index) + "/"
+                        + std::to_string(sw.shard.count) + ": "
+                        + std::to_string(owned) + " point(s))")
+                           .c_str()
+                     : "",
                  static_cast<unsigned long long>(base.warmup_instrs),
                  static_cast<unsigned long long>(base.sim_instrs),
                  runner.jobs());
-    for (const auto &cfg : grid) {
-        for (const auto &mix : mixes)
-            runner.submitMix(all_workloads, mix, cfg);
-    }
 
     TablePrinter tp = resultTable("mix", 24, /*per_core_ipc=*/true);
     tp.printHeader(o.sweep ? "tlpsim mix sweep" : "tlpsim mix run");
     for (const auto &mix : mixes) {
-        for (const auto &cfg : grid)
-            printResultRow(tp, mix.name,
-                           runner.mix(all_workloads, mix, cfg),
-                           /*per_core_ipc=*/true);
+        for (const auto &cfg : grid) {
+            const std::string key = mixPointKey(mix, cfg);
+            if (!in_shard(key))
+                continue;
+            printOutcomeRow(tp, mix.name, cfg.scheme.name,
+                            runner.outcome(key), /*per_core_ipc=*/true);
+        }
     }
-    return 0;
+    return finish();
 }
 
 } // namespace

@@ -101,6 +101,13 @@ Config::setInt(const std::string &key, std::int64_t value)
 }
 
 void
+Config::setUnsignedInt(const std::string &key, std::uint64_t value)
+{
+    values_[key] = std::to_string(value);
+    consumed_.erase(key);
+}
+
+void
 Config::merge(const Config &other)
 {
     for (const auto &[k, v] : other.values_) {
@@ -114,6 +121,20 @@ Config::erase(const std::string &key)
 {
     consumed_.erase(key);
     return values_.erase(key) > 0;
+}
+
+std::size_t
+Config::eraseSub(const std::string &prefix)
+{
+    const std::string p = prefix + ".";
+    std::size_t removed = 0;
+    for (auto it = values_.lower_bound(p);
+         it != values_.end() && it->first.compare(0, p.size(), p) == 0;) {
+        consumed_.erase(it->first);
+        it = values_.erase(it);
+        ++removed;
+    }
+    return removed;
 }
 
 bool

@@ -55,13 +55,17 @@ class Config
     void set(const std::string &key, double value);
     /** List-valued key, rendered "a, b, c" (see getStringList). */
     void set(const std::string &key, const std::vector<std::string> &value);
-    /** Any integral type. */
+    /** Any integral type. Unsigned types keep their full range — a
+     *  stat counter above INT64_MAX must not round-trip as negative. */
     template <typename T,
               typename = std::enable_if_t<std::is_integral_v<T>>>
     void
     set(const std::string &key, T value)
     {
-        setInt(key, static_cast<std::int64_t>(value));
+        if constexpr (std::is_unsigned_v<T>)
+            setUnsignedInt(key, static_cast<std::uint64_t>(value));
+        else
+            setInt(key, static_cast<std::int64_t>(value));
     }
 
     /** Overlay @p other on top of this config (other wins per key). */
@@ -69,6 +73,12 @@ class Config
 
     /** Remove a key; returns true if it existed. */
     bool erase(const std::string &key);
+
+    /** Remove every key under "prefix." — how the CLI consumes execution
+     *  knob subtrees ("store.*") that configure the sweep machinery, not
+     *  the simulated system, before SystemConfig::fromConfig would
+     *  reject them as unknown. Returns the number of keys removed. */
+    std::size_t eraseSub(const std::string &prefix);
 
     // ----- reading -------------------------------------------------------
     bool has(const std::string &key) const;
@@ -149,6 +159,7 @@ class Config
 
   private:
     void setInt(const std::string &key, std::int64_t value);
+    void setUnsignedInt(const std::string &key, std::uint64_t value);
 
     std::map<std::string, std::string> values_;
     /** Keys read by a typed getter or forwarded by sub(); mutable so a

@@ -1,0 +1,19 @@
+#include "common/diag.hh"
+
+#include <cstdio>
+#include <mutex>
+
+namespace tlpsim
+{
+
+void
+diag(const std::string &topic, const std::string &message)
+{
+    static std::mutex m;
+    std::lock_guard<std::mutex> lock(m);
+    std::fprintf(stderr, "tlpsim: %s: %s\n", topic.c_str(),
+                 message.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace tlpsim

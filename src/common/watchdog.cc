@@ -1,0 +1,76 @@
+#include "common/watchdog.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tlpsim::watchdog
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct ThreadWatchdog
+{
+    bool armed = false;
+    double budget_s = 0.0;
+    Clock::time_point start;
+    Clock::time_point deadline;
+};
+
+thread_local ThreadWatchdog g_wd;
+
+} // namespace
+
+void
+arm(double seconds)
+{
+    if (seconds <= 0.0) {
+        disarm();
+        return;
+    }
+    g_wd.armed = true;
+    g_wd.budget_s = seconds;
+    g_wd.start = Clock::now();
+    g_wd.deadline
+        = g_wd.start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+}
+
+void
+disarm()
+{
+    g_wd.armed = false;
+}
+
+bool
+armed()
+{
+    return g_wd.armed;
+}
+
+double
+elapsedSeconds()
+{
+    if (!g_wd.armed)
+        return 0.0;
+    return std::chrono::duration<double>(Clock::now() - g_wd.start).count();
+}
+
+void
+poll()
+{
+    if (!g_wd.armed || Clock::now() < g_wd.deadline)
+        return;
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "design point exceeded its %.3gs wall-clock budget",
+                  g_wd.budget_s);
+    // Disarm before throwing: the handler (the Runner's retry loop) must
+    // not trip over a stale deadline while deciding what to do next.
+    g_wd.armed = false;
+    throw SimTimeoutError(msg);
+}
+
+} // namespace tlpsim::watchdog

@@ -177,6 +177,88 @@ runMix(const std::vector<workloads::WorkloadSpec> &workloads,
     return sim.run();
 }
 
+namespace
+{
+
+/** "prefix.N" keys for a per-core vector, N = 0..size-1. */
+template <typename T, typename Setter>
+void
+putVector(Config &cfg, const std::string &prefix,
+          const std::vector<T> &values, Setter set_one)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        set_one(cfg, prefix + "." + std::to_string(i), values[i]);
+}
+
+/** Read "prefix.0", "prefix.1", ... until the first absent index. An
+ *  empty vector round-trips as no keys at all. */
+template <typename Getter>
+void
+readVector(const Config &cfg, const std::string &prefix, Getter get_one)
+{
+    for (std::size_t i = 0;; ++i) {
+        const std::string key = prefix + "." + std::to_string(i);
+        if (!cfg.has(key))
+            break;
+        get_one(key);
+    }
+}
+
+} // namespace
+
+Config
+simResultToConfig(const SimResult &r)
+{
+    Config cfg;
+    cfg.set("scheme", r.scheme);
+    cfg.set("num_cores", r.num_cores);
+    cfg.set("sim_instrs", r.sim_instrs);
+    cfg.set("hit_cycle_cap", r.hit_cycle_cap);
+    putVector(cfg, "instrs", r.instrs,
+              [](Config &c, const std::string &k, InstrCount v) {
+                  c.set(k, v);
+              });
+    putVector(cfg, "ipc", r.ipc,
+              [](Config &c, const std::string &k, double v) { c.set(k, v); });
+    putVector(cfg, "warmup_end_cycle", r.warmup_end_cycle,
+              [](Config &c, const std::string &k, Cycle v) { c.set(k, v); });
+    putVector(cfg, "window_cycles", r.window_cycles,
+              [](Config &c, const std::string &k, Cycle v) { c.set(k, v); });
+    for (const auto &[name, value] : r.stats)
+        cfg.set("stat." + name, value);
+    return cfg;
+}
+
+SimResult
+simResultFromConfig(const Config &cfg)
+{
+    SimResult r;
+    r.scheme = cfg.getString("scheme");
+    r.num_cores = cfg.getUnsigned32("num_cores", 0);
+    r.sim_instrs = cfg.getUnsigned("sim_instrs", 0);
+    r.hit_cycle_cap = cfg.getBool("hit_cycle_cap", false);
+    readVector(cfg, "instrs", [&](const std::string &k) {
+        r.instrs.push_back(cfg.getUnsigned(k, 0));
+    });
+    readVector(cfg, "ipc", [&](const std::string &k) {
+        r.ipc.push_back(cfg.getDouble(k, 0.0));
+    });
+    readVector(cfg, "warmup_end_cycle", [&](const std::string &k) {
+        r.warmup_end_cycle.push_back(cfg.getUnsigned(k, 0));
+    });
+    readVector(cfg, "window_cycles", [&](const std::string &k) {
+        r.window_cycles.push_back(cfg.getUnsigned(k, 0));
+    });
+    const std::string stat_prefix = "stat.";
+    for (const std::string &key : cfg.keys()) {
+        if (key.compare(0, stat_prefix.size(), stat_prefix) == 0) {
+            r.stats.emplace(key.substr(stat_prefix.size()),
+                            cfg.getUnsigned(key, 0));
+        }
+    }
+    return r;
+}
+
 double
 percentDelta(double value, double baseline)
 {

@@ -43,6 +43,21 @@ SimResult runSingleCore(const workloads::WorkloadSpec &workload,
 SimResult runMix(const std::vector<workloads::WorkloadSpec> &workloads,
                  const workloads::Mix &mix, SystemConfig cfg);
 
+/**
+ * SimResult <-> Config round trip — the payload of a persistent store
+ * row. Every field serializes losslessly: integers exactly, doubles via
+ * Config's shortest-round-trippable rendering (std::to_chars), per-core
+ * vectors as indexed keys ("ipc.0", "ipc.1", ...), and the stats map
+ * under "stat.<name>". simResultFromConfig(simResultToConfig(r)) equals
+ * r field for field, bit for bit — the property that makes a
+ * store-served sweep table diff clean against a cold run.
+ */
+Config simResultToConfig(const SimResult &r);
+
+/** Inverse of simResultToConfig; throws ConfigError on malformed input
+ *  (a store row from a different format version). */
+SimResult simResultFromConfig(const Config &cfg);
+
 /** Percent change of @p value over @p baseline: +10 = 10 % more. */
 double percentDelta(double value, double baseline);
 

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/diag.hh"
+#include "common/watchdog.hh"
+
 namespace tlpsim::experiment
 {
 
@@ -45,8 +48,11 @@ configSummary(const SystemConfig &cfg)
     return buf;
 }
 
-Runner::Runner(unsigned jobs) : jobs_(jobs == 0 ? 1 : jobs)
+Runner::Runner(unsigned jobs, StorePolicy policy)
+    : jobs_(jobs == 0 ? 1 : jobs), policy_(std::move(policy))
 {
+    if (policy_.timeout_attempts == 0)
+        policy_.timeout_attempts = 1;
     // With one job the caller thread does all the work in get(); spawning
     // a single worker would only add wakeup latency.
     if (jobs_ >= 2) {
@@ -68,7 +74,7 @@ Runner::~Runner()
 }
 
 bool
-Runner::submit(const std::string &key, JobFn fn)
+Runner::submit(const std::string &key, JobFn fn, std::string label)
 {
     {
         std::lock_guard<std::mutex> lock(m_);
@@ -76,55 +82,175 @@ Runner::submit(const std::string &key, JobFn fn)
         if (!inserted)
             return false;
         it->second.fn = std::move(fn);
+        it->second.label = std::move(label);
         queue_.push_back(key);
     }
     work_cv_.notify_one();
     return true;
 }
 
-const SimResult &
-Runner::get(const std::string &key)
+Runner::Job &
+Runner::await(const std::string &key)
 {
     std::unique_lock<std::mutex> lock(m_);
     auto it = map_.find(key);
     if (it == map_.end()) {
         // Loud in every build type: an assert would be compiled out of
-        // the default Release build and leave UB on a mis-keyed lookup.
-        throw std::logic_error("Runner::get() for a key that was never "
-                               "submitted: " + key);
+        // the default Release build and leave UB on a mis-keyed lookup,
+        // and waiting on a job that will never exist would block forever.
+        throw std::logic_error(
+            "Runner::get()/outcome() for a key that was never submitted "
+            "(" + std::to_string(map_.size()) + " job(s) are submitted; "
+            "fingerprint " + store::fingerprintHex(key) + "): " + key);
     }
     Job &job = it->second;
     if (job.state == State::Pending) {
         // Work stealing: run the job on the calling thread. The stale
         // queue entry is skipped by workers (state != Pending).
         job.state = State::Running;
-        execute(job, lock);
+        execute(it->first, job, lock);
     } else {
         done_cv_.wait(lock, [&] { return job.state == State::Done; });
     }
     if (job.error)
         std::rethrow_exception(job.error);
+    return job;
+}
+
+const SimResult &
+Runner::get(const std::string &key)
+{
+    Job &job = await(key);
+    if (job.failed)
+        throw SimTimeoutError(job.fail_error);
     return job.result;
 }
 
+Runner::Outcome
+Runner::outcome(const std::string &key)
+{
+    Job &job = await(key);
+    Outcome out;
+    out.failed = job.failed;
+    out.result = job.failed ? nullptr : &job.result;
+    out.error = job.fail_error;
+    out.attempts = job.attempts;
+    out.from_store = job.from_store;
+    return out;
+}
+
 void
-Runner::execute(Job &job, std::unique_lock<std::mutex> &lock)
+Runner::execute(const std::string &key, Job &job,
+                std::unique_lock<std::mutex> &lock)
 {
     JobFn fn = std::move(job.fn);
     job.fn = nullptr;
+    const std::string label = job.label;
     lock.unlock();
+
     SimResult result;
     std::exception_ptr error;
-    try {
-        result = fn();
-    } catch (...) {
-        error = std::current_exception();
+    bool failed = false;
+    bool from_store = false;
+    unsigned attempts = 0;
+    std::string fail_msg;
+
+    // 1. Persistent-store hit: an ok row is the result — no simulation.
+    //    A failure row (earlier run recorded a timeout) and a
+    //    quarantined row (load() moved it aside) both fall through to
+    //    recomputation, which is what makes --resume self-healing.
+    if (policy_.store) {
+        if (auto row = policy_.store->load(key)) {
+            if (row->getString(store::kStatusKey, "") == store::kStatusOk) {
+                try {
+                    result = simResultFromConfig(*row);
+                    from_store = true;
+                } catch (const ConfigError &e) {
+                    // Checksummed but undeserializable: a row written by
+                    // an incompatible format revision. Recompute (and
+                    // overwrite it below).
+                    diag("store", "row for " + label
+                                      + " is from an incompatible format ("
+                                      + e.what() + "); recomputing");
+                }
+            }
+        }
     }
+
+    // 2. Simulate under the watchdog, with bounded timeout retries.
+    if (!from_store) {
+        for (;;) {
+            ++attempts;
+            if (policy_.timeout_s > 0.0)
+                watchdog::arm(policy_.timeout_s);
+            try {
+                result = fn();
+                watchdog::disarm();
+                break;
+            } catch (const SimTimeoutError &e) {
+                watchdog::disarm();
+                if (attempts >= policy_.timeout_attempts) {
+                    failed = true;
+                    fail_msg = std::string(e.what()) + " ("
+                        + std::to_string(attempts) + " attempt(s))";
+                    diag("watchdog", label + ": " + fail_msg
+                                         + "; recording a failure row and "
+                                           "continuing the sweep");
+                    break;
+                }
+                diag("watchdog", label + ": " + e.what() + "; retrying ("
+                                     + std::to_string(attempts + 1) + "/"
+                                     + std::to_string(
+                                           policy_.timeout_attempts)
+                                     + ")");
+            } catch (...) {
+                // Non-timeout errors keep their PR-1 semantics: stored
+                // and rethrown to every get()/outcome() caller.
+                watchdog::disarm();
+                error = std::current_exception();
+                break;
+            }
+        }
+
+        // 3. Persist the outcome (ok or structured failure).
+        if (policy_.store && !error) {
+            Config row;
+            if (failed) {
+                row.set(store::kStatusKey, store::kStatusFailed);
+                row.set("error", fail_msg);
+                row.set("attempts", attempts);
+                row.set("timeout_s", policy_.timeout_s);
+            } else {
+                row = simResultToConfig(result);
+                row.set(store::kStatusKey, store::kStatusOk);
+            }
+            policy_.store->save(key, row);
+        }
+    }
+
+    // 4. Stream the completion (outside the lock; the record's pointers
+    //    are only promised for the duration of the call).
+    if (on_complete_ && !error) {
+        CompletionRecord rec{key,      label,    failed, from_store,
+                             attempts, fail_msg, failed ? nullptr : &result};
+        on_complete_(rec);
+    }
+
     lock.lock();
     job.result = std::move(result);
     job.error = error;
+    job.failed = failed;
+    job.from_store = from_store;
+    job.attempts = attempts;
+    job.fail_error = std::move(fail_msg);
     job.state = State::Done;
     ++completed_;
+    if (from_store)
+        ++store_hits_;
+    else if (failed)
+        ++failed_;
+    else if (!error)
+        ++simulated_;
     done_cv_.notify_all();
 }
 
@@ -142,7 +268,7 @@ Runner::workerLoop()
         if (job.state != State::Pending)
             continue;   // claimed by a stealing get()
         job.state = State::Running;
-        execute(job, lock);
+        execute(key, job, lock);
     }
 }
 
@@ -158,49 +284,44 @@ logSim(const char *what, const std::string &name, const SystemConfig &cfg)
 
 } // namespace
 
-namespace
-{
-
 std::string
-singleKey(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
+singlePointKey(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 {
     return "1c|" + w.name + "|" + configKey(cfg);
 }
 
 std::string
-mixKey(const workloads::Mix &mix, const SystemConfig &cfg)
+mixPointKey(const workloads::Mix &mix, const SystemConfig &cfg)
 {
     return std::to_string(mix.cores()) + "c|" + mix.name + "|"
         + configKey(cfg);
 }
 
-} // namespace
-
 void
 Runner::submitSingle(const workloads::WorkloadSpec &w,
                      const SystemConfig &cfg)
 {
-    submit(singleKey(w, cfg), [w, cfg] {
+    submit(singlePointKey(w, cfg), [w, cfg] {
         logSim("1c", w.name, cfg);
         return runSingleCore(w, cfg);
-    });
+    }, w.name + "|" + cfg.scheme.name);
 }
 
 const SimResult &
 Runner::single(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 {
     submitSingle(w, cfg);
-    return get(singleKey(w, cfg));
+    return get(singlePointKey(w, cfg));
 }
 
 void
 Runner::submitMix(const std::vector<workloads::WorkloadSpec> &all,
                   const workloads::Mix &mix, const SystemConfig &cfg)
 {
-    submit(mixKey(mix, cfg), [all, mix, cfg] {
+    submit(mixPointKey(mix, cfg), [all, mix, cfg] {
         logSim((std::to_string(mix.cores()) + "c").c_str(), mix.name, cfg);
         return runMix(all, mix, cfg);
-    });
+    }, mix.name + "|" + cfg.scheme.name);
 }
 
 const SimResult &
@@ -208,7 +329,7 @@ Runner::mix(const std::vector<workloads::WorkloadSpec> &all,
             const workloads::Mix &mix, const SystemConfig &cfg)
 {
     submitMix(all, mix, cfg);
-    return get(mixKey(mix, cfg));
+    return get(mixPointKey(mix, cfg));
 }
 
 std::size_t
@@ -223,6 +344,27 @@ Runner::completed() const
 {
     std::lock_guard<std::mutex> lock(m_);
     return completed_;
+}
+
+std::size_t
+Runner::simulatedCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return simulated_;
+}
+
+std::size_t
+Runner::storeHitCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return store_hits_;
+}
+
+std::size_t
+Runner::failedCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return failed_;
 }
 
 Runner &

@@ -19,6 +19,13 @@
  *   - Results are keyed, not ordered by completion: benches render their
  *     tables by iterating their own loops, so output is bit-identical
  *     regardless of worker count.
+ *   - With a StorePolicy, each job first consults the persistent
+ *     ResultStore: an ok row is deserialized and served without
+ *     simulating; a miss (or a failure/quarantined row) simulates under
+ *     an optional wall-clock watchdog and persists the outcome. A point
+ *     that exceeds timeout_s gets one bounded retry, then is recorded
+ *     as a structured failure and the sweep continues — outcome()
+ *     exposes the per-point status without throwing.
  *
  * Worker count comes from TLPSIM_JOBS (default: hardware_concurrency).
  */
@@ -35,9 +42,12 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 #include "sim/system_config.hh"
+#include "store/result_store.hh"
 #include "workloads/workload.hh"
 
 namespace tlpsim::experiment
@@ -51,27 +61,96 @@ unsigned jobsFromEnv();
  *  each deployed component's declared knob defaults). */
 std::string configKey(const SystemConfig &cfg);
 
+/** The Runner key of a single-core design point — also the content
+ *  address of its persistent store row and the input to the --shard
+ *  partition, so every consumer agrees on what "the same point" means. */
+std::string singlePointKey(const workloads::WorkloadSpec &w,
+                           const SystemConfig &cfg);
+
+/** The Runner key of a multi-core mix design point (cf. singlePointKey). */
+std::string mixPointKey(const workloads::Mix &mix, const SystemConfig &cfg);
+
 /** Short human-readable design-point label for progress logging. */
 std::string configSummary(const SystemConfig &cfg);
+
+/** Persistence and robustness policy for a Runner's executed jobs.
+ *  (Namespace-scope rather than nested so it can brace-default in the
+ *  Runner constructor signature.) */
+struct StorePolicy
+{
+    /** Persistent result store; null = in-process memoization only. */
+    std::shared_ptr<store::ResultStore> store;
+    /** Wall-clock budget per design point in seconds; 0 disables the
+     *  watchdog. */
+    double timeout_s = 0.0;
+    /** Total attempts for a point that times out: the first run plus
+     *  bounded retries (default: one retry — a wall-clock timeout is
+     *  host noise as often as pathology, but retrying forever would
+     *  re-wedge the grid). */
+    unsigned timeout_attempts = 2;
+};
 
 class Runner
 {
   public:
     using JobFn = std::function<SimResult()>;
 
-    explicit Runner(unsigned jobs = jobsFromEnv());
+    /** Status of one completed design point, without exception control
+     *  flow: sweeps print failure rows and keep going. */
+    struct Outcome
+    {
+        bool failed = false;
+        /** Valid when !failed; points into Runner-owned storage (stable
+         *  for the Runner's life). */
+        const SimResult *result = nullptr;
+        std::string error;        ///< failure description (failed only)
+        unsigned attempts = 0;    ///< simulation attempts (0 = stored hit)
+        bool from_store = false;  ///< served from the persistent store
+    };
+
+    /** One completed point, streamed to the completion observer. The
+     *  result pointer is only valid during the callback. */
+    struct CompletionRecord
+    {
+        const std::string &key;
+        const std::string &label;
+        bool failed;
+        bool from_store;
+        unsigned attempts;
+        const std::string &error;
+        const SimResult *result;   ///< null when failed
+    };
+    using CompletionFn = std::function<void(const CompletionRecord &)>;
+
+    explicit Runner(unsigned jobs = jobsFromEnv(), StorePolicy policy = {});
     ~Runner();
 
     Runner(const Runner &) = delete;
     Runner &operator=(const Runner &) = delete;
 
+    /** Streaming observer invoked once per completed point (completion
+     *  order, any worker thread; calls are serialized by the observer's
+     *  own discipline — the CLI's JSONL writer locks internally). Set
+     *  before the first submit(). */
+    void setOnComplete(CompletionFn fn) { on_complete_ = std::move(fn); }
+
     /** Queue a keyed job. Returns false (and does nothing) if the key is
-     *  already submitted, running, or done. */
-    bool submit(const std::string &key, JobFn fn);
+     *  already submitted, running, or done. @p label is a short
+     *  human-readable point name for diagnostics and streamed output. */
+    bool submit(const std::string &key, JobFn fn, std::string label = "");
 
     /** Block until the job for @p key is done; runs it inline if it is
-     *  still queued. The reference stays valid for the Runner's life. */
+     *  still queued. The reference stays valid for the Runner's life.
+     *  Throws SimTimeoutError for a point recorded as a watchdog
+     *  failure; use outcome() to handle failures without unwinding.
+     *  Calling with a key that was never submitted is a programming
+     *  error and throws std::logic_error naming the key — it can never
+     *  block forever or return garbage. */
     const SimResult &get(const std::string &key);
+
+    /** Block like get(), but report watchdog failures as data instead of
+     *  throwing (non-timeout simulation errors still rethrow). */
+    Outcome outcome(const std::string &key);
 
     /** submit() + get(). */
     const SimResult &
@@ -103,6 +182,16 @@ class Runner
     std::size_t submitted() const;
     std::size_t completed() const;
 
+    // Sweep accounting (for resume/shard reporting and CI assertions):
+    /** Points actually simulated in this process (not store-served). */
+    std::size_t simulatedCount() const;
+    /** Points served from the persistent store without simulating. */
+    std::size_t storeHitCount() const;
+    /** Points that ended as structured watchdog failures. */
+    std::size_t failedCount() const;
+
+    const StorePolicy &policy() const { return policy_; }
+
   private:
     enum class State
     {
@@ -115,15 +204,26 @@ class Runner
     {
         State state = State::Pending;
         JobFn fn;
+        std::string label;
         SimResult result;
         std::exception_ptr error;
+        bool failed = false;       ///< structured watchdog failure
+        bool from_store = false;
+        unsigned attempts = 0;
+        std::string fail_error;
     };
 
     void workerLoop();
     /** Run @p job (must be Running); takes and restores @p lock. */
-    void execute(Job &job, std::unique_lock<std::mutex> &lock);
+    void execute(const std::string &key, Job &job,
+                 std::unique_lock<std::mutex> &lock);
+    /** Wait until @p key's job is Done (work-stealing a Pending job);
+     *  rethrows stored non-timeout errors. Returns the job. */
+    Job &await(const std::string &key);
 
     unsigned jobs_;
+    StorePolicy policy_;
+    CompletionFn on_complete_;
     mutable std::mutex m_;
     std::condition_variable work_cv_;   ///< workers: queue non-empty / stop
     std::condition_variable done_cv_;   ///< get(): a job completed
@@ -131,6 +231,9 @@ class Runner
     std::deque<std::string> queue_;     ///< submission order
     bool stop_ = false;
     std::size_t completed_ = 0;
+    std::size_t simulated_ = 0;
+    std::size_t store_hits_ = 0;
+    std::size_t failed_ = 0;
     std::vector<std::thread> threads_;
 };
 

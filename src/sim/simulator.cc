@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/watchdog.hh"
 #include "offchip/slp.hh"
 
 namespace tlpsim
@@ -400,6 +401,13 @@ Simulator::run()
     advancePhases();   // warmup_instrs == 0 opens windows at cycle 0
     while (remaining > 0 && cycle_ < cap) {
         step();
+        // Wall-clock watchdog (armed by the Runner's StorePolicy): one
+        // predictable branch per 64 Ki cycles, a clock read only when a
+        // timeout is actually configured. poll() throws SimTimeoutError,
+        // unwinding this run cleanly — simulation state is per-Simulator
+        // and dies with it, so a retry starts from scratch.
+        if ((cycle_ & 0xFFFF) == 0)
+            watchdog::poll();
         advancePhases();
     }
     res.hit_cycle_cap = remaining > 0;

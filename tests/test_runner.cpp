@@ -70,6 +70,26 @@ TEST(Runner, PropagatesJobExceptions)
     EXPECT_THROW(r.get("boom"), std::runtime_error);
 }
 
+TEST(Runner, GetOnUnsubmittedKeyThrowsNamingTheKey)
+{
+    // A mis-keyed lookup must fail loudly in every build type: waiting
+    // for a job that will never exist would hang the sweep forever, and
+    // the error has to name the key so the caller can see *which* point
+    // was never queued.
+    Runner r(1);
+    r.submit("present", [] { return SimResult{}; });
+    r.get("present");
+    try {
+        r.get("missing-point-key");
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("missing-point-key"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("never submitted"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(r.outcome("missing-point-key"), std::logic_error);
+}
+
 TEST(Runner, JobsFromEnv)
 {
     ::setenv("TLPSIM_JOBS", "3", 1);
