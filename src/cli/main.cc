@@ -36,6 +36,7 @@
 #include "common/diag.hh"
 #include "sim/runner.hh"
 #include "store/result_store.hh"
+#include "tracefile/format.hh"
 #include "workloads/workload.hh"
 
 using namespace tlpsim;
@@ -54,9 +55,11 @@ design point:
   --scheme NAME     scheme preset (repeatable; overrides the config's
                     scheme for each listed name; scheme.* keys from
                     --set/TLPSIM_CONF still override preset fields)
-  --workload NAME   workload to simulate (repeatable; --sweep defaults to
-                    every workload of the TLPSIM_SET set; with --cores N
-                    it becomes an N-copy homogeneous mix)
+  --workload NAME   workload to simulate (repeatable; "file:PATH" replays
+                    an external .tlt trace file — see README "External
+                    traces"; --sweep defaults to every workload of the
+                    TLPSIM_SET set; with --cores N it becomes an N-copy
+                    homogeneous mix)
   --cores N         number of cores (shorthand for --set cores=N; defaults
                     to the mix length when --mix is given)
   --mix A,B,...     multi-core mix: one workload name per core, ','/'+'
@@ -69,6 +72,10 @@ modes (default: run the configured workloads/mixes once):
                     per suite, the Fig. 13 recipe) — through the parallel
                     Runner (default schemes: baseline + the four paper
                     schemes of Figs. 10-14)
+  --record-trace OUT  record the one named --workload's in-binary kernel
+                    (warmup + sim instructions, the exact stream a
+                    simulation consumes) to OUT as a portable .tlt trace
+                    file and exit; replay it with --workload file:OUT
   --print-config    print the effective full config and exit
   --describe        print the Table III description and exit
   --list-workloads  list workload names and exit
@@ -121,6 +128,7 @@ struct Options
     bool list_components = false;
     bool knobs = false;
     std::string knobs_component;   ///< "" = every component
+    std::string record_trace;      ///< "" = no trace dump
     unsigned jobs = 0;   ///< 0 = TLPSIM_JOBS / hardware default
     std::string store_dir;         ///< "" = no persistent store
     bool resume = false;
@@ -205,6 +213,9 @@ parseArgs(int argc, char **argv)
             ++i;
         } else if (arg == "--out") {
             o.out_jsonl = need_value(i, "--out");
+            ++i;
+        } else if (arg == "--record-trace") {
+            o.record_trace = need_value(i, "--record-trace");
             ++i;
         } else if (arg == "--sweep") {
             o.sweep = true;
@@ -517,6 +528,9 @@ run(const Options &o)
     if (o.list_workloads) {
         for (const auto &w : all_workloads)
             std::printf("%-24s %s\n", w.name.c_str(), toString(w.suite));
+        std::printf("%-24s %s\n", "file:PATH",
+                    "replay an external .tlt trace file (README "
+                    "\"External traces\")");
         return 0;
     }
 
@@ -555,6 +569,36 @@ run(const Options &o)
         lc.merged.set("cores", mix_names.front().size());
 
     SystemConfig base = SystemConfig::fromConfig(lc.merged);
+
+    if (!o.record_trace.empty()) {
+        if (o.workload_names.size() != 1) {
+            usageError("--record-trace expects exactly one --workload NAME "
+                       "(the in-binary kernel to dump)");
+        }
+        const auto idx = workloads::resolveWorkloadIndices(
+            all_workloads, o.workload_names, "--workload");
+        const workloads::WorkloadSpec &w
+            = all_workloads[static_cast<std::size_t>(idx.front())];
+        if (w.isFile()) {
+            usageError("--record-trace: '" + w.trace_path
+                       + "' is already a trace file; nothing to record");
+        }
+        // The exact stream runSingleCore consumes: warmup + measurement
+        // instructions, default recording seed — so a replay of the dump
+        // is bit-identical to simulating the kernel in-binary.
+        const Trace &trace
+            = cachedTrace(w, base.warmup_instrs + base.sim_instrs);
+        tracefile::writeTraceFile(
+            o.record_trace, trace,
+            w.suite == workloads::Suite::Gap ? 1 : 0);
+        const auto info = tracefile::readInfo(o.record_trace);
+        std::printf("recorded %s -> %s: %llu record(s), %llu bytes, %s\n",
+                    w.name.c_str(), o.record_trace.c_str(),
+                    static_cast<unsigned long long>(info.record_count),
+                    static_cast<unsigned long long>(info.file_size),
+                    info.identity().c_str());
+        return 0;
+    }
 
     if (o.print_config) {
         Config dump = base.toConfig();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * tlpsim-trace — standalone trace-file tool.
+ *
+ *   tlpsim-trace convert IN OUT [--name N] [--suite spec|gap] [--limit K]
+ *       convert a ChampSim trace (raw / .xz / .gz) to a sealed .tlt file
+ *   tlpsim-trace info FILE
+ *       print the header/footer metadata (structural validation only)
+ *   tlpsim-trace verify FILE
+ *       stream the whole record payload and check the footer checksum
+ *
+ * Kept separate from the tlpsim driver so trace preparation — typically
+ * a one-off batch over downloaded ChampSim archives — doesn't route
+ * through the simulation CLI's config machinery.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/config.hh"
+#include "tracefile/champsim.hh"
+#include "tracefile/format.hh"
+
+using namespace tlpsim;
+using namespace tlpsim::tracefile;
+
+namespace
+{
+
+constexpr const char *kUsage
+    = R"(tlpsim-trace — convert and inspect tlpsim trace files
+
+usage:
+  tlpsim-trace convert IN OUT [--name NAME] [--suite spec|gap] [--limit K]
+      convert a ChampSim trace (raw, .xz, or .gz; compressed inputs
+      stream through the system xz/gzip) to a sealed .tlt trace at OUT.
+      --name sets the embedded workload name (default: derived from IN),
+      --suite tags the suite for per-suite reporting (default: spec),
+      --limit stops after K records (0 = all).
+  tlpsim-trace info FILE
+      print FILE's metadata after structural validation (magic, version,
+      record-region bounds; the checksum is declared, not recomputed).
+  tlpsim-trace verify FILE
+      stream every record and verify the footer checksum; exits non-zero
+      naming the file and byte offset on any corruption.
+
+Replay a converted trace with: tlpsim --workload file:OUT
+)";
+
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr,
+                 "tlpsim-trace: %s\n(run tlpsim-trace --help for usage)\n",
+                 msg.c_str());
+    std::exit(2);
+}
+
+void
+printInfo(const TraceFileInfo &info)
+{
+    std::printf("file          : %s\n", info.path.c_str());
+    std::printf("name          : %s\n", info.name.c_str());
+    std::printf("version       : %u\n", info.version);
+    std::printf("suite         : %s\n", info.suite == 1 ? "gap" : "spec");
+    std::printf("records       : %llu\n",
+                static_cast<unsigned long long>(info.record_count));
+    std::printf("file bytes    : %llu\n",
+                static_cast<unsigned long long>(info.file_size));
+    std::printf("payload offset: %llu\n",
+                static_cast<unsigned long long>(info.payload_offset));
+    std::printf("checksum      : %016llx\n",
+                static_cast<unsigned long long>(info.checksum));
+    std::printf("identity      : %s\n", info.identity().c_str());
+}
+
+int
+runConvert(int argc, char **argv)
+{
+    if (argc < 4)
+        usageError("convert expects: convert IN OUT [options]");
+    const std::string in_path = argv[2];
+    const std::string out_path = argv[3];
+    ChampSimConvertOptions opt;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto need_value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--name") {
+            opt.name = need_value("--name");
+        } else if (arg == "--suite") {
+            const std::string v = need_value("--suite");
+            if (v == "spec")
+                opt.suite = 0;
+            else if (v == "gap")
+                opt.suite = 1;
+            else
+                usageError("--suite expects 'spec' or 'gap', got '" + v
+                           + "'");
+        } else if (arg == "--limit") {
+            const std::string v = need_value("--limit");
+            char *end = nullptr;
+            opt.limit = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0')
+                usageError("--limit expects a record count, got '" + v
+                           + "'");
+        } else {
+            usageError("unknown convert option '" + arg + "'");
+        }
+    }
+
+    const ChampSimConvertStats stats = convertChampSim(in_path, out_path,
+                                                       opt);
+    const TraceFileInfo info = readInfo(out_path);
+    std::printf("converted %s -> %s\n", in_path.c_str(), out_path.c_str());
+    std::printf("  name %s, %llu record(s): %llu load(s), %llu store(s), "
+                "%llu branch(es)\n",
+                stats.name.c_str(),
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.loads),
+                static_cast<unsigned long long>(stats.stores),
+                static_cast<unsigned long long>(stats.branches));
+    std::printf("  identity %s\n", info.identity().c_str());
+    return 0;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2)
+        usageError("expects a mode: convert, info, or verify");
+    const std::string mode = argv[1];
+    if (mode == "--help" || mode == "-h") {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    if (mode == "convert")
+        return runConvert(argc, argv);
+    if (mode == "info" || mode == "verify") {
+        if (argc != 3)
+            usageError(mode + " expects exactly one FILE");
+        printInfo(mode == "verify" ? verifyFile(argv[2])
+                                   : readInfo(argv[2]));
+        if (mode == "verify")
+            std::printf("checksum OK\n");
+        return 0;
+    }
+    usageError("unknown mode '" + mode + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "tlpsim-trace: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tlpsim-trace: internal error: %s\n", e.what());
+        return 1;
+    }
+}

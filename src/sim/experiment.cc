@@ -9,6 +9,8 @@
 #include <memory>
 #include <mutex>
 
+#include "tracefile/file_source.hh"
+
 namespace tlpsim::experiment
 {
 
@@ -144,13 +146,24 @@ clearTraceCache()
     g_trace_cache.clear();
 }
 
+std::shared_ptr<TraceSource>
+traceSource(const workloads::WorkloadSpec &spec, InstrCount instrs,
+            std::uint64_t seed)
+{
+    if (spec.isFile())
+        return std::make_shared<tracefile::FileTraceSource>(spec.trace_path);
+    // The cache slot (and the Trace in it) lives for the process, so the
+    // source's reference into it cannot dangle.
+    return std::make_shared<MemoryTraceSource>(
+        cachedTrace(spec, instrs, seed));
+}
+
 SimResult
 runSingleCore(const workloads::WorkloadSpec &workload, SystemConfig cfg)
 {
     cfg.num_cores = 1;
-    const Trace &trace
-        = cachedTrace(workload, cfg.warmup_instrs + cfg.sim_instrs);
-    Simulator sim(cfg, {&trace});
+    Simulator sim(cfg, {traceSource(workload,
+                                    cfg.warmup_instrs + cfg.sim_instrs)});
     return sim.run();
 }
 
@@ -168,12 +181,12 @@ runMix(const std::vector<workloads::WorkloadSpec> &workloads,
             + " workload(s) but cores = " + std::to_string(cfg.num_cores)
             + "; a mix needs exactly one workload per core");
     }
-    std::vector<const Trace *> traces;
+    std::vector<std::shared_ptr<TraceSource>> sources;
     for (int idx : mix.workload_index) {
-        traces.push_back(&cachedTrace(workloads[static_cast<size_t>(idx)],
+        sources.push_back(traceSource(workloads[static_cast<size_t>(idx)],
                                       cfg.warmup_instrs + cfg.sim_instrs));
     }
-    Simulator sim(cfg, traces);
+    Simulator sim(cfg, std::move(sources));
     return sim.run();
 }
 

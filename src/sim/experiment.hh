@@ -27,12 +27,25 @@ InstrCount envWarmup(InstrCount fallback = 200'000);
 int envMixes(int fallback = 4);
 
 /**
- * Process-wide trace cache: benches sweep many schemes over the same
- * workloads; each trace is recorded once.
+ * Process-wide trace cache: benches sweep many workloads/schemes over the
+ * same workloads; each trace is recorded once. In-binary kernels only —
+ * file-backed specs stream from disk and are never materialized (see
+ * traceSource()).
  */
 const Trace &cachedTrace(const workloads::WorkloadSpec &spec,
                          InstrCount instrs, std::uint64_t seed = 7);
 void clearTraceCache();
+
+/**
+ * The stream a simulation consumes for @p spec: a MemoryTraceSource over
+ * the cached recording for in-binary kernels, a fresh bounded-memory
+ * FileTraceSource for file-backed specs. Each call returns an
+ * independent stream (own position, own file handle), so N concurrent
+ * simulations of one workload stay deterministic and lock-free.
+ */
+std::shared_ptr<TraceSource> traceSource(const workloads::WorkloadSpec &spec,
+                                         InstrCount instrs,
+                                         std::uint64_t seed = 7);
 
 /** Run one workload on a single-core system. */
 SimResult runSingleCore(const workloads::WorkloadSpec &workload,

@@ -287,13 +287,16 @@ logSim(const char *what, const std::string &name, const SystemConfig &cfg)
 std::string
 singlePointKey(const workloads::WorkloadSpec &w, const SystemConfig &cfg)
 {
-    return "1c|" + w.name + "|" + configKey(cfg);
+    // pointName(), not name: a file workload keys by verified content
+    // hash, so the same bytes under two paths share store rows and an
+    // edited file never serves stale ones.
+    return "1c|" + w.pointName() + "|" + configKey(cfg);
 }
 
 std::string
 mixPointKey(const workloads::Mix &mix, const SystemConfig &cfg)
 {
-    return std::to_string(mix.cores()) + "c|" + mix.name + "|"
+    return std::to_string(mix.cores()) + "c|" + mix.pointName() + "|"
         + configKey(cfg);
 }
 

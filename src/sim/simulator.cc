@@ -132,20 +132,38 @@ SimResult::ipcMax() const
 }
 
 Simulator::Simulator(const SystemConfig &cfg,
-                     std::vector<const Trace *> traces)
-    : cfg_(cfg), traces_(std::move(traces)), stats_("sim")
+                     std::vector<std::shared_ptr<TraceSource>> sources)
+    : cfg_(cfg), sources_(std::move(sources)), stats_("sim")
 {
     // A config error, not an assert: the shared LLC and DRAM are sized
     // from num_cores, so silently reusing or dropping traces would skew
     // every multi-core metric — and asserts vanish in Release builds.
-    if (traces_.size() != cfg_.num_cores) {
+    if (sources_.size() != cfg_.num_cores) {
         throw ConfigError(
             "cores = " + std::to_string(cfg_.num_cores) + " but "
-            + std::to_string(traces_.size())
+            + std::to_string(sources_.size())
             + " trace(s) supplied: a multi-core mix needs exactly one "
               "workload per core (adjust 'cores' or the mix)");
     }
+    for (std::size_t c = 0; c < sources_.size(); ++c) {
+        if (sources_[c] == nullptr) {
+            throw ConfigError("core " + std::to_string(c)
+                              + " has no trace stream");
+        }
+    }
     build();
+}
+
+Simulator::Simulator(const SystemConfig &cfg,
+                     std::vector<const Trace *> traces)
+    : Simulator(cfg, [&traces] {
+          std::vector<std::shared_ptr<TraceSource>> sources;
+          sources.reserve(traces.size());
+          for (const Trace *t : traces)
+              sources.push_back(std::make_shared<MemoryTraceSource>(*t));
+          return sources;
+      }())
+{
 }
 
 Simulator::~Simulator() = default;
@@ -264,7 +282,7 @@ Simulator::build()
         tlbs_.push_back(std::make_unique<TranslationStack>(
             dtlb_.back().get(), stlb_.back().get()));
 
-        readers_.push_back(std::make_unique<TraceReader>(*traces_[c]));
+        readers_.push_back(std::make_unique<TraceReader>(*sources_[c]));
 
         Core::Params cp = cfg_.core;
         cp.id = c;

@@ -109,10 +109,18 @@ class Simulator
 {
   public:
     /**
-     * @param cfg     full system configuration
-     * @param traces  one trace per core (repeated cyclically if shorter
-     *                than the simulation length)
+     * @param cfg      full system configuration
+     * @param sources  one trace stream per core (each repeats cyclically
+     *                 if shorter than the simulation length). The
+     *                 simulator shares ownership: a caller may hand over
+     *                 freshly built sources and forget them.
      */
+    Simulator(const SystemConfig &cfg,
+              std::vector<std::shared_ptr<TraceSource>> sources);
+
+    /** Convenience for in-memory traces (tests, single-shot runs): wraps
+     *  each Trace in a MemoryTraceSource. The traces must outlive the
+     *  simulator. */
     Simulator(const SystemConfig &cfg, std::vector<const Trace *> traces);
     ~Simulator();
 
@@ -147,7 +155,7 @@ class Simulator
     void build();
 
     SystemConfig cfg_;
-    std::vector<const Trace *> traces_;
+    std::vector<std::shared_ptr<TraceSource>> sources_;
     StatGroup stats_;
     Cycle cycle_ = 0;
 

@@ -5,15 +5,20 @@
  * tlpsim is trace-driven in the ChampSim style: the core consumes a stream
  * of retired-instruction records carrying the program counter, register
  * dependencies, at most one load and one store address, and branch
- * behaviour. Traces are produced in-process by the workload synthesizers
- * (src/workloads) and held in memory; there is no on-disk format because
- * generation is cheap and deterministic.
+ * behaviour. Traces come from two producers behind one streaming
+ * abstraction (TraceSource): the in-process workload synthesizers
+ * (src/workloads), which materialize a Trace in memory, and the portable
+ * on-disk trace files of src/tracefile, which stream hundred-GB traces at
+ * a fixed memory footprint. The core never sees the difference — it pulls
+ * records through a TraceReader cursor that refills a small chunk buffer
+ * from whichever source backs it.
  */
 
 #ifndef TLPSIM_TRACE_TRACE_HH
 #define TLPSIM_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,6 +77,7 @@ class Trace
     void push(const TraceInstr &i) { instrs_.push_back(i); }
 
     const TraceInstr &at(std::size_t i) const { return instrs_[i]; }
+    const TraceInstr *data() const { return instrs_.data(); }
     std::size_t size() const { return instrs_.size(); }
     bool empty() const { return instrs_.empty(); }
 
@@ -98,32 +104,112 @@ class Trace
 };
 
 /**
- * Cursor over a Trace that loops forever (ChampSim repeats traces that are
- * shorter than the requested simulation length).
+ * A stream of trace records, repeated forever (ChampSim loops traces that
+ * are shorter than the requested simulation length).
+ *
+ * This is the seam between the frontend and the trace's storage: the
+ * in-memory Trace and the chunked on-disk reader (tracefile::
+ * FileTraceSource) both implement it, so the Simulator replays a
+ * hundred-GB trace file and a synthesized kernel through identical code.
+ * The interface is bulk-transfer — one virtual call refills a whole
+ * chunk — so per-instruction consumption (TraceReader) stays non-virtual.
  */
-class TraceReader
+class TraceSource
 {
   public:
-    explicit TraceReader(const Trace &trace) : trace_(&trace) {}
+    virtual ~TraceSource() = default;
 
-    /** Next record without consuming it. */
-    const TraceInstr &peek() const { return trace_->at(pos_); }
+    /** Records in one pass of the stream; always > 0. */
+    virtual std::uint64_t size() const = 0;
 
-    const TraceInstr &
-    next()
-    {
-        const TraceInstr &i = trace_->at(pos_);
-        if (++pos_ == trace_->size())
-            pos_ = 0;
-        return i;
-    }
+    /** Stream name (the workload name for recorded traces). */
+    virtual const std::string &name() const = 0;
 
-    std::size_t position() const { return pos_; }
-    const Trace &trace() const { return *trace_; }
+    /**
+     * Copy the next records of the endless stream into @p out, advancing
+     * the stream. Returns how many were copied: at least 1 and at most
+     * @p n — a source wraps to its first record rather than returning 0,
+     * but may return short at a pass boundary.
+     */
+    virtual std::size_t read(TraceInstr *out, std::size_t n) = 0;
+};
+
+/** TraceSource over a materialized in-memory Trace (shared read-only:
+ *  many concurrent sources may stream one Trace, each with its own
+ *  position). */
+class MemoryTraceSource final : public TraceSource
+{
+  public:
+    explicit MemoryTraceSource(const Trace &trace);
+
+    std::uint64_t size() const override { return trace_->size(); }
+    const std::string &name() const override { return trace_->name(); }
+    std::size_t read(TraceInstr *out, std::size_t n) override;
 
   private:
     const Trace *trace_;
     std::size_t pos_ = 0;
+};
+
+/**
+ * Per-core cursor over a TraceSource: the frontend's peek()/next() pair,
+ * backed by a fixed-size chunk buffer the source refills in bulk. The
+ * buffer is the *only* materialized window of the stream, so replaying an
+ * arbitrarily large trace file holds kChunkRecords records in memory per
+ * core, no more.
+ */
+class TraceReader
+{
+  public:
+    /** Default chunk: 4096 records = 128 KiB per core. */
+    static constexpr std::size_t kChunkRecords = 4096;
+
+    explicit TraceReader(TraceSource &source,
+                         std::size_t chunk_records = kChunkRecords);
+
+    /** Convenience for tests and single-shot runs: wraps an owned
+     *  MemoryTraceSource over @p trace. */
+    explicit TraceReader(const Trace &trace,
+                         std::size_t chunk_records = kChunkRecords);
+
+    /** Next record without consuming it. */
+    const TraceInstr &
+    peek()
+    {
+        if (pos_ == fill_)
+            refill();
+        return buf_[pos_];
+    }
+
+    /** Consume and return the next record. The reference is valid until
+     *  the next refill (at most kChunkRecords next() calls); callers that
+     *  keep it longer must copy. */
+    const TraceInstr &
+    next()
+    {
+        const TraceInstr &i = peek();
+        ++pos_;
+        ++consumed_;
+        return i;
+    }
+
+    /** Index of the next record within the source's pass, [0, size()). */
+    std::uint64_t position() const { return consumed_ % source_->size(); }
+
+    /** Records consumed since construction (across passes). */
+    std::uint64_t consumed() const { return consumed_; }
+
+    TraceSource &source() const { return *source_; }
+
+  private:
+    void refill();
+
+    std::shared_ptr<TraceSource> owned_;   ///< set by the Trace ctor only
+    TraceSource *source_;
+    std::vector<TraceInstr> buf_;
+    std::size_t pos_ = 0;
+    std::size_t fill_ = 0;
+    std::uint64_t consumed_ = 0;
 };
 
 } // namespace tlpsim

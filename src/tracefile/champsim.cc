@@ -1,0 +1,277 @@
+#include "tracefile/champsim.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/config.hh"
+#include "tracefile/format.hh"
+
+namespace tlpsim::tracefile
+{
+
+namespace
+{
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size()
+        && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** POSIX-shell single-quote: safe for any byte but NUL. */
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+/** Map a ChampSim register id into tlpsim's 1..63 space, 0 staying the
+ *  "none" sentinel. */
+RegId
+mapReg(std::uint8_t r)
+{
+    if (r == 0)
+        return kNoReg;
+    return static_cast<RegId>((r - 1) % (kNumRegs - 1) + 1);
+}
+
+/** Input stream that is either a plain file or a decompressor pipe. */
+class InputStream
+{
+  public:
+    explicit InputStream(const std::string &path) : path_(path)
+    {
+        if (endsWith(path, ".xz"))
+            openPipe("xz -dc -- " + shellQuote(path), "xz");
+        else if (endsWith(path, ".gz"))
+            openPipe("gzip -dc -- " + shellQuote(path), "gzip");
+        else {
+            f_ = std::fopen(path.c_str(), "rb");
+            if (f_ == nullptr) {
+                throw ConfigError("champsim trace '" + path
+                                  + "': cannot open for reading");
+            }
+        }
+    }
+
+    ~InputStream()
+    {
+        if (f_ == nullptr)
+            return;
+        if (piped_)
+            pclose(f_);
+        else
+            std::fclose(f_);
+    }
+
+    InputStream(const InputStream &) = delete;
+    InputStream &operator=(const InputStream &) = delete;
+
+    std::size_t readBytes(unsigned char *out, std::size_t n)
+    {
+        return std::fread(out, 1, n, f_);
+    }
+
+    /** Close and verify the producer exited cleanly; call after EOF. */
+    void finish()
+    {
+        if (!piped_) {
+            std::fclose(f_);
+            f_ = nullptr;
+            return;
+        }
+        const int status = pclose(f_);
+        f_ = nullptr;
+        if (status != 0) {
+            throw ConfigError("champsim trace '" + path_ + "': " + tool_
+                              + " exited with status "
+                              + std::to_string(status)
+                              + " — corrupt archive or missing "
+                                "decompressor");
+        }
+    }
+
+  private:
+    void openPipe(const std::string &cmd, const char *tool)
+    {
+        tool_ = tool;
+        piped_ = true;
+        f_ = popen(cmd.c_str(), "r");
+        if (f_ == nullptr) {
+            throw ConfigError("champsim trace '" + path_ + "': cannot start "
+                              + tool_ + " decompressor");
+        }
+    }
+
+    std::string path_;
+    std::string tool_;
+    std::FILE *f_ = nullptr;
+    bool piped_ = false;
+};
+
+/** Basename with compression and trace suffixes stripped. */
+std::string
+deriveName(const std::string &path)
+{
+    std::string s = path;
+    const std::size_t slash = s.find_last_of('/');
+    if (slash != std::string::npos)
+        s = s.substr(slash + 1);
+    for (const char *suffix : {".xz", ".gz", ".champsimtrace", ".trace"}) {
+        if (endsWith(s, suffix))
+            s = s.substr(0, s.size() - std::strlen(suffix));
+    }
+    if (s.empty())
+        s = "champsim";
+    return s;
+}
+
+} // namespace
+
+TraceInstr
+decodeChampSimRecord(const unsigned char in[kChampSimRecordSize])
+{
+    TraceInstr i;
+    i.ip = getU64(in);
+    const bool is_branch = in[8] != 0;
+    const bool taken = in[9] != 0;
+    const unsigned char *dest_regs = in + 10;
+    const unsigned char *src_regs = in + 12;
+
+    for (int m = 0; m < 2; ++m) {
+        const std::uint64_t a = getU64(in + 16 + 8 * m);
+        if (a != 0) {
+            i.st_vaddr = a;
+            break;
+        }
+    }
+    for (int m = 0; m < 4; ++m) {
+        const std::uint64_t a = getU64(in + 32 + 8 * m);
+        if (a != 0) {
+            i.ld_vaddr = a;
+            break;
+        }
+    }
+
+    RegId srcs[2] = {kNoReg, kNoReg};
+    int nsrc = 0;
+    bool reads_flags = false;
+    bool reads_other = false;
+    for (int r = 0; r < 4; ++r) {
+        const std::uint8_t reg = src_regs[r];
+        if (reg == 0)
+            continue;
+        if (reg == kChampSimRegFlags)
+            reads_flags = true;
+        else if (reg != kChampSimRegIP && reg != kChampSimRegSP)
+            reads_other = true;
+        if (nsrc < 2)
+            srcs[nsrc++] = mapReg(reg);
+    }
+    i.src0 = srcs[0];
+    i.src1 = srcs[1];
+    for (int r = 0; r < 2; ++r) {
+        if (dest_regs[r] != 0) {
+            i.dst = mapReg(dest_regs[r]);
+            break;
+        }
+    }
+
+    if (is_branch) {
+        if (reads_flags)
+            i.branch = BranchKind::Conditional;
+        else if (reads_other)
+            i.branch = BranchKind::Indirect;
+        else
+            i.branch = BranchKind::Direct;
+        i.taken = taken;
+    }
+    return i;
+}
+
+ChampSimConvertStats
+convertChampSim(const std::string &in_path, const std::string &out_path,
+                const ChampSimConvertOptions &opt)
+{
+    InputStream in(in_path);
+
+    ChampSimConvertStats stats;
+    stats.name = opt.name.empty() ? deriveName(in_path) : opt.name;
+
+    TraceFileWriter::Options wopt;
+    wopt.name = stats.name;
+    wopt.suite = opt.suite;
+    TraceFileWriter writer(out_path, wopt);
+
+    // Read whole ChampSim records in bulk; a trailing partial record
+    // means the input was cut and must not silently become a trace.
+    constexpr std::size_t kBatch = 1024;
+    std::vector<unsigned char> raw(kBatch * kChampSimRecordSize);
+    bool done = false;
+    while (!done) {
+        std::size_t want = raw.size();
+        if (opt.limit != 0) {
+            const std::uint64_t left = opt.limit - stats.records;
+            if (left == 0)
+                break;
+            want = static_cast<std::size_t>(std::min<std::uint64_t>(
+                want, left * kChampSimRecordSize));
+        }
+        const std::size_t got = in.readBytes(raw.data(), want);
+        if (got < want)
+            done = true;
+        if (got % kChampSimRecordSize != 0) {
+            throw ConfigError(
+                "champsim trace '" + in_path + "': input ends "
+                + std::to_string(got % kChampSimRecordSize)
+                + " bytes into a "
+                + std::to_string(kChampSimRecordSize)
+                + "-byte record (record #"
+                + std::to_string(stats.records + got / kChampSimRecordSize)
+                + ") — truncated download?");
+        }
+        for (std::size_t r = 0; r < got / kChampSimRecordSize; ++r) {
+            const TraceInstr i = decodeChampSimRecord(
+                raw.data() + r * kChampSimRecordSize);
+            writer.append(i);
+            ++stats.records;
+            if (i.isLoad())
+                ++stats.loads;
+            if (i.isStore())
+                ++stats.stores;
+            if (i.isBranch())
+                ++stats.branches;
+        }
+    }
+    if (opt.limit == 0 || stats.records < opt.limit)
+        in.finish();
+
+    if (stats.records == 0) {
+        throw ConfigError("champsim trace '" + in_path
+                          + "': no records — empty input");
+    }
+    writer.finish();
+    return stats;
+}
+
+} // namespace tlpsim::tracefile

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ChampSim → tlpsim trace conversion.
+ *
+ * ChampSim distributes traces as streams of 64-byte `input_instr`
+ * records (usually xz-compressed). This converter maps that layout onto
+ * tlpsim's 32-byte TraceInstr and writes a sealed .tlt file, streaming
+ * record by record — neither the input nor the output trace is ever
+ * materialized, so arbitrarily large traces convert at a fixed RSS.
+ *
+ * The ChampSim record (all fields little-endian):
+ *
+ *   byte  size  field
+ *   0     8     u64 ip
+ *   8     1     u8  is_branch
+ *   9     1     u8  branch_taken
+ *   10    2     u8  destination_registers[2]
+ *   12    4     u8  source_registers[4]
+ *   16    16    u64 destination_memory[2]
+ *   32    32    u64 source_memory[4]
+ *
+ * Mapping onto TraceInstr:
+ *  - ld_vaddr / st_vaddr take the first nonzero source / destination
+ *    memory operand (tlpsim models at most one load and one store per
+ *    instruction; multi-operand records keep the first, which preserves
+ *    the access stream's page/line locality).
+ *  - Registers renumber into tlpsim's 1..63 space as ((r - 1) % 63) + 1,
+ *    keeping 0 as the "none" sentinel: dependencies stay dependencies,
+ *    distinct ChampSim ids almost always stay distinct.
+ *  - Branch kind is recovered from the register reads the ChampSim
+ *    tracer emits for each x86 branch flavour: a branch reading FLAGS
+ *    (25) is Conditional; one reading any register other than IP (26) /
+ *    SP (6) / FLAGS is Indirect; anything else is Direct.
+ */
+
+#ifndef TLPSIM_TRACEFILE_CHAMPSIM_HH
+#define TLPSIM_TRACEFILE_CHAMPSIM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tlpsim::tracefile
+{
+
+/** ChampSim's on-disk record size and the register ids its x86 tracer
+ *  uses as markers (see ChampSim's instruction.h). */
+inline constexpr std::size_t kChampSimRecordSize = 64;
+inline constexpr std::uint8_t kChampSimRegSP = 6;
+inline constexpr std::uint8_t kChampSimRegFlags = 25;
+inline constexpr std::uint8_t kChampSimRegIP = 26;
+
+/** Decode one 64-byte ChampSim record into a TraceInstr (the pure
+ *  mapping, exposed for tests). */
+TraceInstr decodeChampSimRecord(const unsigned char in[kChampSimRecordSize]);
+
+struct ChampSimConvertOptions
+{
+    /** Workload name embedded in the output; empty = derive from the
+     *  input filename (basename, compression and trace suffixes
+     *  stripped). */
+    std::string name;
+    std::uint32_t suite = 0;    ///< 0 = SPEC, 1 = GAP
+    std::uint64_t limit = 0;    ///< stop after this many records; 0 = all
+};
+
+struct ChampSimConvertStats
+{
+    std::string name;           ///< embedded workload name actually used
+    std::uint64_t records = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+};
+
+/**
+ * Convert @p in_path (raw, .xz, or .gz — compressed inputs stream
+ * through the system decompressor, no in-tree codec) to a sealed tlpsim
+ * trace at @p out_path. Throws ConfigError on unreadable input, a
+ * failing decompressor, input that ends mid-record, or an empty input.
+ */
+ChampSimConvertStats convertChampSim(const std::string &in_path,
+                                     const std::string &out_path,
+                                     const ChampSimConvertOptions &opt);
+
+} // namespace tlpsim::tracefile
+
+#endif // TLPSIM_TRACEFILE_CHAMPSIM_HH

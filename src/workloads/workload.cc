@@ -5,6 +5,7 @@
 
 #include "common/config.hh"
 #include "common/rng.hh"
+#include "tracefile/format.hh"
 
 namespace tlpsim::workloads
 {
@@ -94,6 +95,16 @@ singleCoreWorkloads(SetSize s)
 Trace
 buildTrace(const WorkloadSpec &spec, std::uint64_t instrs, std::uint64_t seed)
 {
+    if (!spec.record) {
+        // File-backed workloads replay via a TraceSource; materializing
+        // them here would defeat the bounded-memory contract, so a path
+        // that reaches this (a bench calling cachedTrace on a file spec)
+        // is a bug surfaced by name.
+        throw ConfigError("workload '" + spec.name
+                          + "' is file-backed (" + spec.trace_path
+                          + "); it streams from disk and cannot be "
+                            "re-recorded in memory");
+    }
     Trace trace(spec.name);
     TraceRecorder::Options opt;
     opt.max_instrs = instrs;
@@ -138,17 +149,59 @@ makeMixes(const std::vector<WorkloadSpec> &workloads, int mixes_per_suite,
     return mixes;
 }
 
+bool
+isFileWorkloadName(const std::string &name)
+{
+    return name.compare(0, std::strlen(kFileWorkloadPrefix),
+                        kFileWorkloadPrefix) == 0;
+}
+
+WorkloadSpec
+fileTraceWorkload(const std::string &path)
+{
+    const tracefile::TraceFileInfo info = tracefile::verifyFile(path);
+    WorkloadSpec w;
+    w.name = info.name;
+    w.suite = info.suite == 1 ? Suite::Gap : Suite::Spec;
+    w.trace_path = path;
+    w.identity = info.identity();
+    return w;
+}
+
 std::vector<int>
-resolveWorkloadIndices(const std::vector<WorkloadSpec> &workloads,
+resolveWorkloadIndices(std::vector<WorkloadSpec> &workloads,
                        const std::vector<std::string> &names,
                        const std::string &context)
 {
     std::vector<int> indices;
     std::vector<std::string> unknown;
+    std::vector<std::string> errors;
     for (const std::string &name : names) {
+        if (isFileWorkloadName(name)) {
+            const std::string path
+                = name.substr(std::strlen(kFileWorkloadPrefix));
+            int found = -1;
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                if (workloads[i].trace_path == path) {
+                    found = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (found < 0) {
+                try {
+                    workloads.push_back(fileTraceWorkload(path));
+                    found = static_cast<int>(workloads.size() - 1);
+                } catch (const ConfigError &e) {
+                    errors.push_back(context + ": " + e.what());
+                    continue;
+                }
+            }
+            indices.push_back(found);
+            continue;
+        }
         int found = -1;
         for (std::size_t i = 0; i < workloads.size(); ++i) {
-            if (workloads[i].name == name) {
+            if (!workloads[i].isFile() && workloads[i].name == name) {
                 found = static_cast<int>(i);
                 break;
             }
@@ -160,20 +213,24 @@ resolveWorkloadIndices(const std::vector<WorkloadSpec> &workloads,
     }
     if (!unknown.empty()) {
         std::vector<std::string> valid;
-        for (const auto &w : workloads)
-            valid.push_back(w.name);
-        throw ConfigError(context + ": unknown workload"
-                          + (unknown.size() > 1 ? "s " : " ")
-                          + joinNames(unknown)
-                          + "; valid names (set TLPSIM_SET=tiny|small|full "
-                            "to change the set): "
-                          + joinNames(valid));
+        for (const auto &w : workloads) {
+            if (!w.isFile())
+                valid.push_back(w.name);
+        }
+        errors.push_back(
+            context + ": unknown workload"
+            + (unknown.size() > 1 ? "s " : " ") + joinNames(unknown)
+            + "; valid names (set TLPSIM_SET=tiny|small|full to change "
+              "the set, or file:PATH to replay an external trace): "
+            + joinNames(valid));
     }
+    if (!errors.empty())
+        throwConfigErrors(errors);
     return indices;
 }
 
 Mix
-mixFromNames(const std::vector<WorkloadSpec> &workloads,
+mixFromNames(std::vector<WorkloadSpec> &workloads,
              const std::vector<std::string> &names,
              const std::string &context)
 {
@@ -181,16 +238,25 @@ mixFromNames(const std::vector<WorkloadSpec> &workloads,
     mix.workload_index = resolveWorkloadIndices(workloads, names, context);
     mix.suite = Suite::Spec;
     mix.homogeneous = true;
+    bool any_file = false;
     for (int idx : mix.workload_index) {
         const WorkloadSpec &w = workloads[static_cast<std::size_t>(idx)];
         if (w.suite == Suite::Gap)
             mix.suite = Suite::Gap;
+        if (w.isFile())
+            any_file = true;
         if (w.name != workloads[static_cast<std::size_t>(
                           mix.workload_index.front())].name) {
             mix.homogeneous = false;
         }
         mix.name += mix.name.empty() ? w.name : "+" + w.name;
+        mix.point_name
+            += mix.point_name.empty() ? w.pointName() : "+" + w.pointName();
     }
+    // For all-in-binary mixes the display name is the identity; keeping
+    // point_name empty preserves the store keys of every existing sweep.
+    if (!any_file)
+        mix.point_name.clear();
     return mix;
 }
 

@@ -37,13 +37,33 @@ enum class Suite
 
 const char *toString(Suite s);
 
-/** A named, recordable workload. */
+/** A named workload: either an in-binary kernel recorded on demand, or
+ *  an external trace file replayed from disk (trace_path non-empty). */
 struct WorkloadSpec
 {
     std::string name;
     Suite suite;
-    /** Record the workload into @p rec with randomness from @p seed. */
+    /** Record the workload into @p rec with randomness from @p seed.
+     *  Null for file-backed workloads — they replay, never record. */
     std::function<void(TraceRecorder &, std::uint64_t)> record;
+    /** Path of the external trace file; empty = in-binary kernel. */
+    std::string trace_path;
+    /** Verified content identity of the trace file
+     *  ("tracefile:v1:<checksum>x<count>"); empty for in-binary kernels. */
+    std::string identity;
+
+    bool isFile() const { return !trace_path.empty(); }
+
+    /** Name that keys design points (store rows, Runner jobs): the
+     *  workload name for in-binary kernels (their content is a pure
+     *  function of name, scale, and seed), the *content* identity for
+     *  file workloads — so two paths to byte-identical traces share
+     *  rows, and an edited or re-converted file never aliases stale
+     *  results recorded under its old bytes. */
+    const std::string &pointName() const
+    {
+        return identity.empty() ? name : identity;
+    }
 };
 
 /** Workload-set scaling. */
@@ -83,11 +103,21 @@ struct Mix
     Suite suite;
     bool homogeneous;
     std::vector<int> workload_index;
+    /** Design-point identity: the slot workloads' pointName()s joined
+     *  with '+'. Empty (generated mixes of in-binary kernels) means the
+     *  display name doubles as the identity. */
+    std::string point_name;
 
     /** Number of cores this mix occupies (one workload per core). */
     unsigned cores() const
     {
         return static_cast<unsigned>(workload_index.size());
+    }
+
+    /** Name that keys design points (cf. WorkloadSpec::pointName). */
+    const std::string &pointName() const
+    {
+        return point_name.empty() ? name : point_name;
     }
 };
 
@@ -102,21 +132,42 @@ std::vector<Mix> makeMixes(const std::vector<WorkloadSpec> &workloads,
                            int mixes_per_suite, std::uint64_t seed,
                            unsigned cores = 4);
 
+/** The workload-name syntax that replays an external trace file. */
+inline constexpr const char *kFileWorkloadPrefix = "file:";
+
+/** True iff @p name uses the "file:PATH" external-trace syntax. */
+bool isFileWorkloadName(const std::string &name);
+
+/**
+ * Build a WorkloadSpec replaying the trace file at @p path. The file is
+ * fully verified up front (structure *and* payload checksum — one
+ * streaming pass), so a corrupt trace fails here, at resolution time,
+ * not mid-sweep; throws ConfigError naming the file and byte offset.
+ * The spec's name is the workload name embedded in the file, its
+ * identity the verified content hash.
+ */
+WorkloadSpec fileTraceWorkload(const std::string &path);
+
 /**
  * Resolve workload names to indices into @p workloads. Unlike a lookup
  * loop that stops at the first typo, this collects *every* unknown name
- * and throws one ConfigError listing them all alongside the valid names,
- * so a sweep grid is validated up front in a single pass.
+ * and malformed trace file and throws one ConfigError listing them all
+ * alongside the valid names, so a sweep grid is validated up front in a
+ * single pass. "file:PATH" names resolve to external trace files:
+ * each distinct path is verified once and appended to @p workloads
+ * (which is why the vector is mutable); repeats reuse the appended
+ * spec. Plain names match only in-binary kernels — a file whose
+ * embedded name collides with a kernel shadows nothing.
  * @p context names the source ("--mix", "--workload") in the error.
  */
 std::vector<int>
-resolveWorkloadIndices(const std::vector<WorkloadSpec> &workloads,
+resolveWorkloadIndices(std::vector<WorkloadSpec> &workloads,
                        const std::vector<std::string> &names,
                        const std::string &context);
 
 /** Build a named Mix from workload names (one per core) via
  *  resolveWorkloadIndices; the mix is named "a+b+c+..." . */
-Mix mixFromNames(const std::vector<WorkloadSpec> &workloads,
+Mix mixFromNames(std::vector<WorkloadSpec> &workloads,
                  const std::vector<std::string> &names,
                  const std::string &context);
 

@@ -285,7 +285,8 @@ TEST(Simulator, MismatchedTraceCountIsConfigErrorNotCrash)
     const Trace &t = cachedTrace(specs.front(), 10'000);
     SystemConfig cfg = tinyConfig(4);
     try {
-        Simulator sim(cfg, {&t, &t});   // 2 traces for 4 cores
+        // 2 traces for 4 cores
+        Simulator sim(cfg, std::vector<const Trace *>{&t, &t});
         FAIL() << "expected ConfigError";
     } catch (const ConfigError &e) {
         std::string msg = e.what();
