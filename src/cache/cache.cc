@@ -52,6 +52,29 @@ Cache::Cache(const Params &p, MemoryBackend *lower, StatGroup *stats)
         pf_useless_from_[i]
             = stats->counter(p.name + ".pf_useless_from_" + lvl[i]);
     }
+
+    // Reserve every queue to its structural bound so the per-cycle loop
+    // never allocates in steady state (fills_ is bounded by outstanding
+    // misses, which the MSHR count caps).
+    rq_.reserve(p.rq_size);
+    wq_.reserve(p.wq_size);
+    pq_.reserve(p.pq_size);
+    fills_.reserve(p.mshrs);
+    spec_delay_.reserve(p.rq_size);
+    mshrs_.reserve(p.mshrs);
+    cand_buf_.reserve(32);
+
+    // Pre-populate the waiter pool to its circulation bound: at most
+    // p.mshrs vectors are ever out (one per live MSHR, and MSHR creation
+    // is gated on mshrs_.size() < p.mshrs), so takeWaiterStorage() never
+    // finds the pool empty and the per-cycle path never constructs a
+    // fresh capacity-0 vector — not even the first time a cache reaches
+    // a new concurrency high-water mark deep into a run.
+    waiter_pool_.reserve(p.mshrs);
+    for (unsigned i = 0; i < p.mshrs; ++i) {
+        waiter_pool_.emplace_back();
+        waiter_pool_.back().reserve(kWaiterReserve);
+    }
 }
 
 std::uint64_t
@@ -60,6 +83,22 @@ Cache::storageBits() const
     // Data + tag (assume 40-bit physical tags) + state bits per block.
     return static_cast<std::uint64_t>(params_.sets) * params_.ways
         * (kBlockSize * 8 + 40 + 4);
+}
+
+// Everything below runs on the per-cycle path (tick, queue processing,
+// fills, prefetcher notification). tools/hotpath_lint.py bans allocation
+// and unwaived container growth here; tests/test_hotpath_alloc.cpp
+// checks the same dynamically.
+// tlpsim:hot
+
+std::vector<Packet>
+Cache::takeWaiterStorage()
+{
+    if (waiter_pool_.empty())
+        return {};
+    std::vector<Packet> v = std::move(waiter_pool_.back());
+    waiter_pool_.pop_back();
+    return v;
 }
 
 Cache::Block *
@@ -122,7 +161,7 @@ Cache::sendRead(const Packet &pkt)
 {
     if (rq_.size() >= params_.rq_size)
         return false;
-    rq_.push_back({pkt, pkt.birth + params_.latency});
+    rq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
     return true;
 }
 
@@ -131,7 +170,7 @@ Cache::sendWrite(const Packet &pkt)
 {
     if (wq_.size() >= params_.wq_size)
         return false;
-    wq_.push_back({pkt, pkt.birth + params_.latency});
+    wq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
     return true;
 }
 
@@ -140,14 +179,14 @@ Cache::sendPrefetch(const Packet &pkt)
 {
     if (pq_.size() >= params_.pq_size)
         return false;
-    pq_.push_back({pkt, pkt.birth + params_.latency});
+    pq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
     return true;
 }
 
 void
 Cache::memReturn(const Packet &pkt)
 {
-    fills_.push_back({pkt, pkt.birth});
+    fills_.push_back({pkt, pkt.birth});   // tlpsim:cap (Ring, reserved)
 }
 
 void
@@ -264,7 +303,13 @@ Cache::processFills(Cycle now)
         for (auto &w : mshr->waiters)
             respond(w, fill.served_by);
 
-        *mshr = std::move(mshrs_.back());
+        // Swap-remove the MSHR, but keep its waiter vector's capacity in
+        // the pool — MSHR turnover is steady-state and must not free.
+        mshr->waiters.clear();
+        waiter_pool_.push_back(   // tlpsim:cap (reserved mshrs)
+            std::move(mshr->waiters));
+        if (mshr != &mshrs_.back())
+            *mshr = std::move(mshrs_.back());
         mshrs_.pop_back();
         fills_.pop_front();
     }
@@ -317,7 +362,7 @@ Cache::notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
         pf.pf_metadata = cand.metadata;
         pf.pred_meta = meta;
         pf.birth = now;
-        pq_.push_back({pf, now + 1});
+        pq_.push_back({pf, now + 1});   // tlpsim:cap (Ring, reserved)
         pf_issued_->add();
     }
 }
@@ -353,7 +398,7 @@ Cache::processRead(TimedPacket &entry, Cycle now)
         spec.spec_dram = true;
         spec.delayed_offchip_flag = false;
         spec.birth = now + params_.spec_latency;
-        spec_delay_.push_back({spec, spec.birth});
+        spec_delay_.push_back({spec, spec.birth});   // tlpsim:cap (Ring, reserved)
         spec_delayed_issued_->add();
         if (params_.spec_observer != nullptr)
             params_.spec_observer->onSpecIssued(spec);
@@ -362,7 +407,7 @@ Cache::processRead(TimedPacket &entry, Cycle now)
     if (Mshr *mshr = findMshr(pkt.paddr)) {
         if (pkt.isDemand() && mshr->type == AccessType::Prefetch)
             mshr->demand_merged = true;
-        mshr->waiters.push_back(pkt);
+        mshr->waiters.push_back(pkt);   // tlpsim:cap (pooled)
         mshr_merge_->add();
         if (pkt.isDemand()) {
             notifyPrefetcher(pkt, false, false, now);
@@ -388,7 +433,8 @@ Cache::processRead(TimedPacket &entry, Cycle now)
     mshr.block = blockNumber(pkt.paddr);
     mshr.type = pkt.type;
     mshr.primary = pkt;
-    mshrs_.push_back(std::move(mshr));
+    mshr.waiters = takeWaiterStorage();
+    mshrs_.push_back(std::move(mshr));   // tlpsim:cap (reserved mshrs)
 
     if (pkt.isDemand()) {
         notifyPrefetcher(pkt, false, false, now);
@@ -437,7 +483,7 @@ Cache::processWrite(TimedPacket &entry, Cycle now)
         mshr->dirty_on_fill = true;
         if (mshr->type == AccessType::Prefetch)
             mshr->demand_merged = true;
-        mshr->waiters.push_back(pkt);
+        mshr->waiters.push_back(pkt);   // tlpsim:cap (pooled)
         mshr_merge_->add();
         notifyPrefetcher(pkt, false, false, now);
         return true;
@@ -458,7 +504,8 @@ Cache::processWrite(TimedPacket &entry, Cycle now)
     mshr.type = AccessType::Rfo;
     mshr.dirty_on_fill = true;
     mshr.primary = pkt;
-    mshrs_.push_back(std::move(mshr));
+    mshr.waiters = takeWaiterStorage();
+    mshrs_.push_back(std::move(mshr));   // tlpsim:cap (reserved mshrs)
     notifyPrefetcher(pkt, false, false, now);
     if (params_.filter != nullptr)
         params_.filter->onDemandMiss(pkt.paddr, pkt.ip);
@@ -499,7 +546,7 @@ Cache::processPrefetch(TimedPacket &entry, Cycle now)
 
     if (Mshr *mshr = findMshr(pkt.paddr)) {
         if (pkt.requestor != nullptr) {
-            mshr->waiters.push_back(pkt);
+            mshr->waiters.push_back(pkt);   // tlpsim:cap (pooled)
             mshr_merge_->add();
         } else {
             pf_dup_->add();
@@ -520,7 +567,8 @@ Cache::processPrefetch(TimedPacket &entry, Cycle now)
     mshr.block = blockNumber(pkt.paddr);
     mshr.type = AccessType::Prefetch;
     mshr.primary = pkt;
-    mshrs_.push_back(std::move(mshr));
+    mshr.waiters = takeWaiterStorage();
+    mshrs_.push_back(std::move(mshr));   // tlpsim:cap (reserved mshrs)
     return true;
 }
 
@@ -561,5 +609,7 @@ Cache::tick(Cycle now)
         --budget;
     }
 }
+
+// tlpsim:endhot
 
 } // namespace tlpsim

@@ -17,10 +17,10 @@
 #ifndef TLPSIM_CACHE_CACHE_HH
 #define TLPSIM_CACHE_CACHE_HH
 
-#include <deque>
 #include <string>
 #include <vector>
 
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/packet.hh"
@@ -140,6 +140,9 @@ class Cache : public MemoryBackend, public MemoryClient
     bool install(const Packet &pkt, Cycle now);
 
     void respond(Packet pkt, MemLevel served_by);
+    /** Waiter storage for a new MSHR, recycled from retired ones so
+     *  steady-state merges never touch the allocator. */
+    std::vector<Packet> takeWaiterStorage();
     void notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
                           Cycle now);
     void classifyEviction(const Block &blk);
@@ -151,11 +154,21 @@ class Cache : public MemoryBackend, public MemoryClient
 
     std::vector<Block> blocks_;
     std::vector<Mshr> mshrs_;
-    std::deque<TimedPacket> rq_;
-    std::deque<TimedPacket> wq_;
-    std::deque<TimedPacket> pq_;
-    std::deque<TimedPacket> fills_;
-    std::deque<TimedPacket> spec_delay_;
+    // FIFO queues are rings, not deques: libstdc++'s deque mallocs and
+    // frees a node every ~512B of traffic, which lands on the per-cycle
+    // path. Each ring is reserved to its Params bound in the ctor.
+    Ring<TimedPacket> rq_;
+    Ring<TimedPacket> wq_;
+    Ring<TimedPacket> pq_;
+    Ring<TimedPacket> fills_;
+    Ring<TimedPacket> spec_delay_;
+    /** Initial per-vector waiter capacity (observed maxima are 1-2;
+     *  growth past this is geometric and one-time per vector). */
+    static constexpr std::size_t kWaiterReserve = 8;
+    /** Retired MSHRs' waiter vectors, kept for their capacity. The pool
+     *  is filled to the MSHR count at construction, so a live run never
+     *  constructs waiter storage from scratch. */
+    std::vector<std::vector<Packet>> waiter_pool_;
     std::vector<PrefetchCandidate> cand_buf_;
     std::uint64_t lru_clock_ = 0;
     Cycle now_ = 0;

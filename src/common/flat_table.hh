@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fixed-capacity open-addressing hash map for the per-cycle hot path.
+ *
+ * The core's in-flight bookkeeping (outstanding loads, pending store
+ * words, page walks) used to live in std::unordered_maps, which allocate
+ * one node per insert and free it per erase — a steady-state malloc/free
+ * pair for every load the core issues. A FlatTable stores {key, value}
+ * slots in one flat array sized once (to a power of two at least twice
+ * the structural bound, so probe chains stay short) and never touches
+ * the allocator after init(); the Debug-build allocation-counter test
+ * (tests/test_hotpath_alloc.cpp) enforces exactly that.
+ *
+ * Keys are 64-bit; the empty slot is tracked by an explicit flag, so the
+ * full key space (including 0) is usable. Erase uses backward-shift
+ * deletion, so lookups never scan tombstones no matter how long the
+ * table lives. Capacity is the caller's contract: insert into a full
+ * table asserts in Debug and is UB-free but unreachable in Release
+ * (every user sizes the table from the structural bound that also
+ * bounds occupancy, e.g. the load-queue depth).
+ */
+
+#ifndef TLPSIM_COMMON_FLAT_TABLE_HH
+#define TLPSIM_COMMON_FLAT_TABLE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tlpsim
+{
+
+template <typename V>
+class FlatTable
+{
+  public:
+    FlatTable() = default;
+
+    /** Size for at least @p max_entries live entries (allocates the slot
+     *  array at twice that, rounded up to a power of two). Call once,
+     *  before the hot loop; discards any contents. */
+    void
+    init(std::size_t max_entries)
+    {
+        std::size_t cap = 16;
+        while (cap < max_entries * 2)
+            cap *= 2;
+        slots_.assign(cap, Slot{});
+        mask_ = cap - 1;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the value for @p key, or nullptr. Stable only until
+     *  the next erase() (backward-shift moves slots). */
+    V *
+    find(std::uint64_t key)
+    {
+        assert(!slots_.empty());
+        for (std::size_t i = hash(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (!s.used)
+                return nullptr;
+            if (s.key == key)
+                return &s.value;
+        }
+    }
+
+    bool contains(std::uint64_t key) { return find(key) != nullptr; }
+
+    /** Value for @p key, default-constructing a slot if absent (the
+     *  operator[] idiom). The table must not be full. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        assert(!slots_.empty());
+        for (std::size_t i = hash(key);; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (s.used && s.key == key)
+                return s.value;
+            if (!s.used) {
+                assert(size_ < slots_.size() && "FlatTable overfull");
+                s.used = true;
+                s.key = key;
+                s.value = V{};
+                ++size_;
+                return s.value;
+            }
+        }
+    }
+
+    /** Erase @p key if present; returns whether it was. The value slot
+     *  is overwritten with a default-constructed V (releasing resources
+     *  deterministically), then the probe chain is compacted. */
+    bool
+    erase(std::uint64_t key)
+    {
+        assert(!slots_.empty());
+        std::size_t i = hash(key);
+        for (;; i = (i + 1) & mask_) {
+            Slot &s = slots_[i];
+            if (!s.used)
+                return false;
+            if (s.key == key)
+                break;
+        }
+        // Backward-shift deletion: pull every displaced follower of the
+        // probe chain one slot back so no tombstone is needed.
+        std::size_t hole = i;
+        for (std::size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+            Slot &cand = slots_[j];
+            if (!cand.used)
+                break;
+            const std::size_t home = hash(cand.key);
+            // cand may move into the hole iff the hole lies between its
+            // home slot and its current slot (cyclically).
+            if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = std::move(cand);
+                hole = j;
+            }
+        }
+        slots_[hole] = Slot{};
+        --size_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (Slot &s : slots_)
+            s = Slot{};
+        size_ = 0;
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        V value{};
+        bool used = false;
+    };
+
+    std::size_t
+    hash(std::uint64_t key) const
+    {
+        // Fibonacci multiplicative hash: cheap and fine for the
+        // load-id / word-address / page-number keys used here.
+        return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ULL) >> 32)
+            & mask_;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_FLAT_TABLE_HH

@@ -233,8 +233,14 @@ Knobs::expect(const std::string &key, KnobType t, unsigned bits) const
         auto describe = [](KnobType type, unsigned width) {
             std::string out = toString(type);
             if (width != 0
-                && (type == KnobType::Int || type == KnobType::Unsigned))
-                out += "(" + std::to_string(width) + ")";
+                && (type == KnobType::Int || type == KnobType::Unsigned)) {
+                // Appended piecewise: `"(" + std::to_string(w) + ")"`
+                // trips GCC 12's -Wrestrict false positive (PR 105329)
+                // under -O2.
+                out += '(';
+                out += std::to_string(width);
+                out += ')';
+            }
             return out;
         };
         throw ConfigError(component_ + " builder reads knob '" + key

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fixed-capacity-friendly FIFO ring buffer.
+ *
+ * The per-cycle queues (cache RQ/WQ/PQ/fill queues, the cores'
+ * speculative-issue delay lines) used to be std::deques; libstdc++'s
+ * deque allocates and frees a node roughly every 512 bytes of traffic,
+ * which put one malloc/free pair on the per-cycle hot path for every few
+ * queue entries that cycled through. A Ring stores its elements in one
+ * contiguous power-of-two block and reuses it forever: after the queue
+ * has once reached its high-water mark, push/pop never touch the
+ * allocator again — which is what the Debug-build allocation-counter
+ * test (tests/test_hotpath_alloc.cpp) enforces for the measurement
+ * window.
+ *
+ * Growth doubles the block and linearizes the contents; callers that
+ * know their bound (every cache queue is capped by its Params size)
+ * can reserve() it up front so not even the first pushes allocate.
+ */
+
+#ifndef TLPSIM_COMMON_RING_HH
+#define TLPSIM_COMMON_RING_HH
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tlpsim
+{
+
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+
+    /** Ensure capacity for @p n elements without further allocation. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf_.size())
+            grow(ceilPow2(n));
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    T &back() { return buf_[wrap(head_ + size_ - 1)]; }
+    const T &back() const { return buf_[wrap(head_ + size_ - 1)]; }
+
+    /** i-th element from the front (0 = front()). */
+    T &operator[](std::size_t i) { return buf_[wrap(head_ + i)]; }
+    const T &operator[](std::size_t i) const
+    {
+        return buf_[wrap(head_ + i)];
+    }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == buf_.size())
+            grow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+        buf_[wrap(head_ + size_)] = std::move(value);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        assert(size_ > 0);
+        // Leave the slot's object in place (moved-from or stale): slots
+        // are overwritten on reuse, and not destroying here is what lets
+        // element types with capacity (e.g. Packet vectors) recycle it.
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+
+    static std::size_t
+    ceilPow2(std::size_t n)
+    {
+        std::size_t c = kMinCapacity;
+        while (c < n)
+            c *= 2;
+        return c;
+    }
+
+    std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+    void
+    grow(std::size_t new_cap)
+    {
+        std::vector<T> fresh(new_cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            fresh[i] = std::move(buf_[wrap(head_ + i)]);
+        buf_.swap(fresh);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace tlpsim
+
+#endif // TLPSIM_COMMON_RING_HH

@@ -17,6 +17,7 @@ struct ThreadWatchdog
     double budget_s = 0.0;
     Clock::time_point start;
     Clock::time_point deadline;
+    const CancelFlag *cancel = nullptr;
 };
 
 thread_local ThreadWatchdog g_wd;
@@ -59,8 +60,21 @@ elapsedSeconds()
 }
 
 void
+bindCancel(const CancelFlag *flag)
+{
+    g_wd.cancel = flag;
+}
+
+void
 poll()
 {
+    // Cancellation outranks the deadline: a cancelled point must not be
+    // retried, and SimTimeoutError would route it into the retry loop.
+    if (g_wd.cancel != nullptr && g_wd.cancel->requested()) {
+        g_wd.cancel = nullptr;
+        g_wd.armed = false;
+        throw SimCancelledError("design point cancelled");
+    }
     if (!g_wd.armed || Clock::now() < g_wd.deadline)
         return;
     char msg[96];

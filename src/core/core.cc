@@ -8,6 +8,18 @@
 namespace tlpsim
 {
 
+namespace
+{
+
+/** Word-granularity key for the store-forwarding table. */
+std::uint64_t
+wordKey(Addr vaddr)
+{
+    return static_cast<std::uint64_t>(vaddr) >> 3;
+}
+
+} // namespace
+
 Core::Core(const Params &p, const Ports &ports, StatGroup *stats)
     : params_(p), ports_(ports),
       bpred_({8, 1024, 20, p.name + ".bpred"}, stats),
@@ -23,7 +35,26 @@ Core::Core(const Params &p, const Ports &ports, StatGroup *stats)
       spec_from_core_(stats->counter(p.name + ".spec_from_core"))
 {
     issue_list_.reserve(p.lq_size);
+    // Size every in-flight structure to its structural bound up front —
+    // the per-cycle loop below never allocates once these are warm.
+    // inflight_loads_ entries can outlive retirement (a spec-completed
+    // load retires while its demand read is still in flight), so its
+    // bound is a deliberate multiple of the LQ depth, enforced by an
+    // issue stall in issueOneLoad().
+    inflight_load_cap_ = static_cast<std::size_t>(p.lq_size) * 4;
+    inflight_loads_.init(inflight_load_cap_);
+    walk_inflight_.init(p.lq_size);
+    pending_store_words_.init(p.sq_size);
+    walk_next_.assign(p.rob_size, -1);
+    walk_serial_.assign(p.rob_size, 0);
+    spec_delay_.reserve(p.lq_size);
 }
+
+// Everything below runs once per simulated cycle (or per instruction /
+// memory response within one). tools/hotpath_lint.py enforces that no
+// allocation, std::function, or unwaived container growth appears here;
+// tests/test_hotpath_alloc.cpp checks the same dynamically.
+// tlpsim:hot
 
 bool
 Core::fetchBlocked(Cycle now) const
@@ -118,7 +149,7 @@ Core::dispatch(const TraceInstr &instr, Cycle now)
             && rob_[static_cast<std::uint32_t>(rs.producer_slot)].serial
                    == rs.producer_serial) {
             rob_[static_cast<std::uint32_t>(rs.producer_slot)]
-                .dependents.push_back(slot);
+                .dependents.push_back(slot);   // tlpsim:cap (kept capacity)
             ++e.unresolved;
         } else {
             e.ready = std::max(e.ready, rs.ready);
@@ -144,7 +175,7 @@ Core::dispatch(const TraceInstr &instr, Cycle now)
     if (e.is_store) {
         stores_->add();
         ++stores_in_flight_;
-        ++pending_store_words_[e.st_vaddr >> 3];
+        ++pending_store_words_[wordKey(e.st_vaddr)];
     }
 
     if (e.unresolved == 0)
@@ -159,7 +190,7 @@ Core::scheduleExec(std::uint32_t slot, Cycle now)
     RobEntry &e = rob_[slot];
     if (e.is_load) {
         e.state = State::WaitIssue;
-        issue_list_.push_back(slot);
+        issue_list_.push_back(slot);   // tlpsim:cap (reserved lq_size)
         return;
     }
     complete(slot, std::max(e.ready, now) + 1);
@@ -186,11 +217,16 @@ Core::complete(std::uint32_t slot, Cycle done_cycle)
         }
     }
     if (!e.dependents.empty()) {
-        // Move out: resolveOperand may recurse into complete().
-        std::vector<std::uint32_t> deps;
-        deps.swap(e.dependents);
-        for (std::uint32_t dep : deps)
-            resolveOperand(dep, done_cycle, now_);
+        // Iterate in place: the complete() recursion below (via
+        // resolveOperand → scheduleExec) only ever touches *younger*
+        // slots' dependent lists — nothing appends to this one mid-walk
+        // and rob_ itself never reallocates — so the vector's capacity
+        // can be kept. (The old move-out-to-a-local freed and
+        // reallocated this list once per completed producer, a
+        // steady-state malloc/free pair on the per-cycle path.)
+        for (std::size_t i = 0; i < e.dependents.size(); ++i)
+            resolveOperand(e.dependents[i], done_cycle, now_);
+        e.dependents.clear();
     }
 }
 
@@ -236,8 +272,14 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
     RobEntry &e = rob_[slot];
     const Addr vaddr = e.ld_vaddr;
 
+    // Back-pressure: inflight_loads_ is sized to a fixed structural
+    // bound (entries can outlive retirement while a demand read is in
+    // flight); stall issue rather than grow past it.
+    if (inflight_loads_.size() >= inflight_load_cap_)
+        return false;
+
     // Store-to-load forwarding (word granularity).
-    if (pending_store_words_.count(vaddr >> 3) != 0) {
+    if (pending_store_words_.contains(wordKey(vaddr))) {
         fwd_loads_->add();
         complete(slot, now + 1);
         return true;
@@ -246,10 +288,14 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
     auto tr = ports_.tlbs->lookup(vaddr);
     if (tr.needs_walk) {
         Addr vpn = pageNumber(vaddr);
-        auto it = walk_inflight_.find(vpn);
-        if (it != walk_inflight_.end()) {
-            // A walk for this page is already outstanding: piggyback.
-            it->second.waiters.emplace_back(slot, e.serial);
+        if (WalkInflight *w = walk_inflight_.find(vpn)) {
+            // A walk for this page is already outstanding: piggyback by
+            // appending this slot to the walk's intrusive waiter chain
+            // (insertion order — wakeup order must match it).
+            walk_next_[slot] = -1;
+            walk_serial_[slot] = e.serial;
+            walk_next_[w->tail] = static_cast<std::int32_t>(slot);
+            w->tail = static_cast<std::int32_t>(slot);
             e.state = State::WaitWalk;
             return true;
         }
@@ -265,7 +311,11 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
         if (!ports_.walk_target->sendRead(walk))
             return false;   // retry next cycle
         walks_->add();
-        walk_inflight_[vpn] = {vaddr, {{slot, e.serial}}};
+        walk_next_[slot] = -1;
+        walk_serial_[slot] = e.serial;
+        walk_inflight_[vpn] = WalkInflight{
+            vaddr, static_cast<std::int32_t>(slot),
+            static_cast<std::int32_t>(slot)};
         e.state = State::WaitWalk;
         return true;
     }
@@ -295,7 +345,7 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
         spec.spec_dram = true;
         spec.delayed_offchip_flag = false;
         spec.birth = now + tr.latency + params_.spec_latency;
-        spec_delay_.emplace_back(spec.birth, spec);
+        spec_delay_.push_back({spec.birth, spec});   // tlpsim:cap (Ring)
         spec_from_core_->add();
         if (ports_.spec_observer != nullptr)
             ports_.spec_observer->onSpecIssued(spec);
@@ -339,9 +389,9 @@ Core::retire(Cycle now)
             auto tr = ports_.tlbs->lookup(e.st_vaddr);
             if (tr.needs_walk)
                 ports_.tlbs->fill(e.st_vaddr);
-            auto it = pending_store_words_.find(e.st_vaddr >> 3);
-            if (it != pending_store_words_.end() && --it->second == 0)
-                pending_store_words_.erase(it);
+            if (int *cnt = pending_store_words_.find(wordKey(e.st_vaddr));
+                cnt != nullptr && --*cnt == 0)
+                pending_store_words_.erase(wordKey(e.st_vaddr));
             --stores_in_flight_;
         }
         if (e.is_load) {
@@ -362,40 +412,44 @@ Core::memReturn(const Packet &pkt)
         return;
     }
     if (pkt.type == AccessType::Translation) {
-        auto it = walk_inflight_.find(pkt.req_id);
-        if (it == walk_inflight_.end())
+        WalkInflight *w = walk_inflight_.find(pkt.req_id);
+        if (w == nullptr)
             return;
-        WalkInflight walk = std::move(it->second);
-        walk_inflight_.erase(it);
+        const WalkInflight walk = *w;
+        walk_inflight_.erase(pkt.req_id);
         ports_.tlbs->fill(walk.vaddr);
-        for (auto [slot, serial] : walk.waiters) {
-            RobEntry &e = rob_[slot];
-            if (e.serial == serial && e.state == State::WaitWalk) {
+        // Wake the waiter chain in insertion order (the chain appends at
+        // tail, so head-to-tail matches the order loads piggybacked).
+        for (std::int32_t s = walk.head; s >= 0; s = walk_next_[s]) {
+            RobEntry &e = rob_[static_cast<std::uint32_t>(s)];
+            if (e.serial == walk_serial_[s] && e.state == State::WaitWalk) {
                 e.state = State::WaitIssue;
                 e.ready = std::max(e.ready, now_ + 1);
-                issue_list_.push_back(slot);
+                issue_list_.push_back(   // tlpsim:cap (reserved lq_size)
+                    static_cast<std::uint32_t>(s));
             }
         }
         return;
     }
 
-    auto it = inflight_loads_.find(pkt.req_id);
-    if (it == inflight_loads_.end())
+    LoadTraining *lt = inflight_loads_.find(pkt.req_id);
+    if (lt == nullptr)
         return;   // stale speculative response
-    LoadTraining &lt = it->second;
-    if (!lt.data_done) {
-        lt.data_done = true;
-        RobEntry &e = rob_[lt.rob_slot];
-        if (e.serial == lt.serial && e.state == State::WaitMem)
-            complete(lt.rob_slot, now_ + 1);
+    if (!lt->data_done) {
+        lt->data_done = true;
+        RobEntry &e = rob_[lt->rob_slot];
+        if (e.serial == lt->serial && e.state == State::WaitMem)
+            complete(lt->rob_slot, now_ + 1);
     }
     if (!pkt.spec_dram) {
         // Only the demand response knows the true serve level (paper:
         // FLP trains when the load returns to the core).
         if (ports_.offchip != nullptr)
-            ports_.offchip->train(lt.meta, pkt.served_by == MemLevel::Dram);
-        inflight_loads_.erase(it);
+            ports_.offchip->train(lt->meta, pkt.served_by == MemLevel::Dram);
+        inflight_loads_.erase(pkt.req_id);
     }
 }
+
+// tlpsim:endhot
 
 } // namespace tlpsim

@@ -22,11 +22,10 @@
 #ifndef TLPSIM_CORE_CORE_HH
 #define TLPSIM_CORE_CORE_HH
 
-#include <deque>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "core/branch_pred.hh"
 #include "mem/packet.hh"
@@ -133,11 +132,15 @@ class Core : public MemoryClient
     };
 
     /** One outstanding page walk; deduped per virtual page, like a PTW
-     *  MSHR: loads to the same page wait on the same walk. */
+     *  MSHR: loads to the same page wait on the same walk. Waiters are
+     *  chained through walk_next_ (indexed by rob slot), so piggybacking
+     *  never allocates: a rob slot waits on at most one walk at a time,
+     *  which makes the per-slot link array a perfect intrusive list. */
     struct WalkInflight
     {
         Addr vaddr = 0;
-        std::vector<std::pair<std::uint32_t, std::uint64_t>> waiters;
+        std::int32_t head = -1;   ///< oldest waiting rob slot, -1 = none
+        std::int32_t tail = -1;   ///< newest waiter (append point)
     };
 
     static constexpr std::uint64_t kIfetchReqId = ~std::uint64_t{0};
@@ -170,10 +173,19 @@ class Core : public MemoryClient
 
     std::vector<RegState> regs_;
     std::vector<std::uint32_t> issue_list_;   ///< rob slots in WaitIssue
-    std::unordered_map<std::uint64_t, LoadTraining> inflight_loads_;
-    std::unordered_map<std::uint64_t, WalkInflight> walk_inflight_;
-    std::unordered_map<Addr, int> pending_store_words_;
-    std::deque<std::pair<Cycle, Packet>> spec_delay_;
+    // In-flight bookkeeping lives in fixed-capacity flat tables, not
+    // node-based maps: the per-cycle loop must not touch the allocator
+    // in steady state (tests/test_hotpath_alloc.cpp enforces this).
+    FlatTable<LoadTraining> inflight_loads_;
+    FlatTable<WalkInflight> walk_inflight_;
+    FlatTable<int> pending_store_words_;
+    /** Per-rob-slot intrusive links for WalkInflight waiter chains. */
+    std::vector<std::int32_t> walk_next_;
+    std::vector<std::uint64_t> walk_serial_;
+    /** Hard cap on outstanding demand loads tracked in inflight_loads_
+     *  (issue stalls at the cap, giving the table a strict bound). */
+    std::size_t inflight_load_cap_ = 0;
+    Ring<std::pair<Cycle, Packet>> spec_delay_;
 
     unsigned loads_in_flight_ = 0;
     unsigned stores_in_flight_ = 0;

@@ -26,6 +26,37 @@ DramController::DramController(const Params &p, StatGroup *stats)
 {
     assert(isPowerOfTwo(p.banks));
     assert(isPowerOfTwo(p.blocks_per_row));
+    read_q_.reserve(p.rq_size);
+    write_q_.reserve(p.wq_size);
+    in_flight_.reserve(p.rq_size);
+
+    // Pre-populate the waiter pool to the circulation bound: every live
+    // read entry (queued or in flight) holds one vector, the read queue
+    // is gated at rq_size, and the issue gating in tick() keeps the
+    // in-flight list shallow. Pre-filling means takeWaiterStorage()
+    // never constructs fresh storage on the per-cycle path, even the
+    // first time the controller reaches a new occupancy high-water mark.
+    const std::size_t pool = std::size_t{p.rq_size} + 8;
+    waiter_pool_.reserve(pool);
+    for (std::size_t i = 0; i < pool; ++i) {
+        waiter_pool_.emplace_back();
+        waiter_pool_.back().reserve(kWaiterReserve);
+    }
+}
+
+// Everything below runs on the per-cycle path. tools/hotpath_lint.py
+// bans allocation and unwaived container growth here;
+// tests/test_hotpath_alloc.cpp checks the same dynamically.
+// tlpsim:hot
+
+std::vector<Packet>
+DramController::takeWaiterStorage()
+{
+    if (waiter_pool_.empty())
+        return {};
+    std::vector<Packet> v = std::move(waiter_pool_.back());
+    waiter_pool_.pop_back();
+    return v;
 }
 
 unsigned
@@ -94,7 +125,8 @@ DramController::sendRead(const Packet &pkt)
             return true;
         }
         spec_issued_->add();
-        read_q_.push_back({pkt, pkt.birth, {}});
+        read_q_.push_back(   // tlpsim:cap (reserved rq_size)
+            {pkt, pkt.birth, takeWaiterStorage()});
         return true;
     }
 
@@ -116,7 +148,7 @@ DramController::sendRead(const Packet &pkt)
             for (auto &e : read_q_) {
                 if (e.pkt.spec_dram && e.pkt.core == pkt.core
                     && blockNumber(e.pkt.paddr) == block) {
-                    e.waiters.push_back(pkt);
+                    e.waiters.push_back(pkt);   // tlpsim:cap (pooled)
                     spec_merged_inflight_->add();
                     return true;
                 }
@@ -124,7 +156,7 @@ DramController::sendRead(const Packet &pkt)
             for (auto &f : in_flight_) {
                 if (f.entry.pkt.spec_dram && f.entry.pkt.core == pkt.core
                     && blockNumber(f.entry.pkt.paddr) == block) {
-                    f.entry.waiters.push_back(pkt);
+                    f.entry.waiters.push_back(pkt);   // tlpsim:cap (pooled)
                     spec_merged_inflight_->add();
                     return true;
                 }
@@ -141,7 +173,7 @@ DramController::sendRead(const Packet &pkt)
     for (auto &e : read_q_) {
         if (!e.pkt.spec_dram && blockNumber(e.pkt.paddr) == block
             && e.pkt.core == pkt.core) {
-            e.waiters.push_back(pkt);
+            e.waiters.push_back(pkt);   // tlpsim:cap (pooled)
             rq_merges_->add();
             return true;
         }
@@ -149,7 +181,8 @@ DramController::sendRead(const Packet &pkt)
 
     if (read_q_.size() >= params_.rq_size)
         return false;
-    read_q_.push_back({pkt, pkt.birth, {}});
+    read_q_.push_back(   // tlpsim:cap (reserved rq_size)
+        {pkt, pkt.birth, takeWaiterStorage()});
     return true;
 }
 
@@ -158,12 +191,14 @@ DramController::sendWrite(const Packet &pkt)
 {
     if (write_q_.size() >= params_.wq_size)
         return false;
-    write_q_.push_back({pkt, pkt.birth, {}});
+    // Writes complete silently and never collect waiters, so the empty
+    // vector here never allocates.
+    write_q_.push_back({pkt, pkt.birth, {}});   // tlpsim:cap (reserved)
     return true;
 }
 
 void
-DramController::scheduleOne(Cycle now, std::deque<QueueEntry> &queue,
+DramController::scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
                             bool is_write)
 {
     if (queue.empty())
@@ -215,7 +250,8 @@ DramController::scheduleOne(Cycle now, std::deque<QueueEntry> &queue,
         return;   // writes complete silently
     }
     reads_->add();
-    in_flight_.push_back({std::move(entry), done});
+    in_flight_.push_back(   // tlpsim:cap (reserved rq_size)
+        {std::move(entry), done});
 }
 
 void
@@ -253,6 +289,10 @@ DramController::completeReads(Cycle now)
                 }
             }
         }
+        // Keep the waiter vector's capacity for the next read entry.
+        f.entry.waiters.clear();
+        waiter_pool_.push_back(   // tlpsim:cap (reserved rq_size)
+            std::move(f.entry.waiters));
     }
 }
 
@@ -293,5 +333,7 @@ DramController::specBufferHolds(std::uint8_t core, Addr paddr) const
     }
     return false;
 }
+
+// tlpsim:endhot
 
 } // namespace tlpsim

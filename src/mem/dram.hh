@@ -17,7 +17,6 @@
 #define TLPSIM_MEM_DRAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -95,17 +94,30 @@ class DramController : public MemoryBackend
     Addr rowOf(Addr paddr) const;
 
     /** Pick the next read/write with FR-FCFS and start it. */
-    void scheduleOne(Cycle now, std::deque<QueueEntry> &queue, bool is_write);
+    void scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
+                     bool is_write);
 
     void completeReads(Cycle now);
 
     SpecLine *findSpecLine(std::uint8_t core, Addr block);
     SpecLine *allocSpecLine(std::uint8_t core, Addr block, Cycle now);
 
+    /** Waiter storage for a new read entry, recycled from completed
+     *  ones so steady-state merges never touch the allocator. */
+    std::vector<Packet> takeWaiterStorage();
+
     Params params_;
-    std::deque<QueueEntry> read_q_;
-    std::deque<QueueEntry> write_q_;
+    // The queues are vectors (reserved to their Params bound), not
+    // deques: FR-FCFS scans by index and erases in the middle anyway,
+    // and libstdc++'s deque frees/reallocates nodes as entries cycle.
+    std::vector<QueueEntry> read_q_;
+    std::vector<QueueEntry> write_q_;
     std::vector<InFlight> in_flight_;
+    /** Initial per-vector waiter capacity (cf. Cache::kWaiterReserve). */
+    static constexpr std::size_t kWaiterReserve = 8;
+    /** Completed entries' waiter vectors, kept for their capacity. The
+     *  pool is filled to the occupancy bound at construction. */
+    std::vector<std::vector<Packet>> waiter_pool_;
     std::vector<Bank> banks_;
     std::vector<std::vector<SpecLine>> spec_buffer_;   ///< [core][entry]
     Cycle bus_free_at_ = 0;

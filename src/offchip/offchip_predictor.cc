@@ -46,6 +46,11 @@ OffChipPredictor::OffChipPredictor(const Params &p, StatGroup *stats)
 {
 }
 
+// predictLoad/train run once per load (the paper's per-access FLP
+// consult-and-train path); no allocation allowed here
+// (tools/hotpath_lint.py).
+// tlpsim:hot
+
 OffChipPredictor::Decision
 OffChipPredictor::predictLoad(Addr ip, Addr vaddr)
 {
@@ -110,6 +115,8 @@ OffChipPredictor::train(const PredictionMeta &meta, bool went_offchip)
     perceptron_.train(meta.index.data(), meta.num_features, meta.confidence,
                       went_offchip, predictThreshold());
 }
+
+// tlpsim:endhot
 
 StorageBudget
 OffChipPredictor::storage() const

@@ -16,6 +16,8 @@ PageBuffer::PageBuffer(const Params &p)
     assert(isPowerOfTwo(sets_));
 }
 
+// tlpsim:hot
+
 bool
 PageBuffer::firstAccess(Addr addr)
 {
@@ -45,6 +47,8 @@ PageBuffer::firstAccess(Addr addr)
     victim->lru = ++lru_clock_;
     return true;
 }
+
+// tlpsim:endhot
 
 StorageBudget
 PageBuffer::storage() const

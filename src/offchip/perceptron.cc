@@ -21,6 +21,10 @@ HashedPerceptron::HashedPerceptron(std::string name,
     weights_.resize(offset);
 }
 
+// Predict/train run once per load; no allocation allowed here
+// (tools/hotpath_lint.py).
+// tlpsim:hot
+
 int
 HashedPerceptron::predict(const std::uint16_t *index, unsigned n) const
 {
@@ -53,6 +57,8 @@ HashedPerceptron::nudge(const std::uint16_t *index, unsigned n, bool positive)
     for (unsigned t = 0; t < n; ++t)
         weights_[meta_[t].offset + index[t]].train(positive);
 }
+
+// tlpsim:endhot
 
 void
 HashedPerceptron::reset()

@@ -18,6 +18,8 @@ Slp::Slp(const Params &p, StatGroup *stats)
 {
 }
 
+// tlpsim:hot
+
 bool
 Slp::allow(const PrefetchTrigger &trigger, Addr pf_vaddr, Addr pf_paddr,
            std::uint32_t pf_metadata, std::uint8_t &fill_level,
@@ -75,6 +77,8 @@ Slp::onPrefetchFill(const Packet &pkt)
                       pkt.pred_meta.confidence, went_offchip,
                       params_.tau_pref);
 }
+
+// tlpsim:endhot
 
 StorageBudget
 Slp::storage() const

@@ -19,6 +19,8 @@ BertiPrefetcher::BertiPrefetcher(const Params &p)
     }
 }
 
+// tlpsim:hot
+
 BertiPrefetcher::IpEntry *
 BertiPrefetcher::entryFor(Addr ip, bool allocate)
 {
@@ -105,7 +107,7 @@ BertiPrefetcher::onAccess(const PrefetchTrigger &trigger,
             || t > static_cast<std::int64_t>(page_last_line)) {
             continue;
         }
-        out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});
+        out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
     }
 
     // Record this access.
@@ -129,6 +131,8 @@ BertiPrefetcher::onFill(Addr vaddr, Addr ip, MemLevel served_by,
     if (window_ < 20)
         window_ = 20;
 }
+
+// tlpsim:endhot
 
 StorageBudget
 BertiPrefetcher::storage() const

@@ -16,6 +16,8 @@ IpcpPrefetcher::IpcpPrefetcher(const Params &p)
 {
 }
 
+// tlpsim:hot
+
 void
 IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
                          std::vector<PrefetchCandidate> &out)
@@ -64,7 +66,7 @@ IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
         e = IpEntry{tag, true, line, 0, 0, 0};
         // Cold IP: fall back to next-line.
         if (line < page_last_line)
-            out.push_back({(line + 1) << kBlockBits, 1, 0});
+            out.push_back({(line + 1) << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
         return;
     }
 
@@ -112,7 +114,7 @@ IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
                 || t > static_cast<std::int64_t>(page_last_line)) {
                 break;
             }
-            out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});
+            out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
         }
         return;
     }
@@ -130,7 +132,7 @@ IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
             || t > static_cast<std::int64_t>(page_last_line)) {
             break;
         }
-        out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});
+        out.push_back({static_cast<Addr>(t) << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
         cplx_issued = true;
         sig = static_cast<std::uint16_t>(
             ((sig << 3) ^ static_cast<std::uint16_t>(c.stride & 0x3f))
@@ -145,15 +147,17 @@ IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
             Addr tl = line + d;
             if (tl > page_last_line)
                 break;
-            out.push_back({tl << kBlockBits, 1, 0});
+            out.push_back({tl << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
         }
         return;
     }
 
     // NL fallback.
     if (line < page_last_line)
-        out.push_back({(line + 1) << kBlockBits, 1, 0});
+        out.push_back({(line + 1) << kBlockBits, 1, 0});   // tlpsim:cap (caller-reserved)
 }
+
+// tlpsim:endhot
 
 StorageBudget
 IpcpPrefetcher::storage() const

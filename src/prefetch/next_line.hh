@@ -19,6 +19,7 @@ class NextLinePrefetcher : public Prefetcher
 
     const char *name() const override { return "next_line"; }
 
+    // tlpsim:hot
     void
     onAccess(const PrefetchTrigger &trigger,
              std::vector<PrefetchCandidate> &out) override
@@ -28,10 +29,11 @@ class NextLinePrefetcher : public Prefetcher
             return;
         }
         for (unsigned d = 1; d <= degree_; ++d) {
-            out.push_back(
+            out.push_back(   // tlpsim:cap (caller-reserved cand_buf)
                 {blockAlign(trigger.vaddr) + d * kBlockSize, 1, 0});
         }
     }
+    // tlpsim:endhot
 
     StorageBudget storage() const override { return {}; }
 

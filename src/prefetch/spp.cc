@@ -21,6 +21,8 @@ SppPrefetcher::SppPrefetcher(const Params &p)
     }
 }
 
+// tlpsim:hot
+
 void
 SppPrefetcher::onAccess(const PrefetchTrigger &trigger,
                         std::vector<PrefetchCandidate> &out)
@@ -111,11 +113,14 @@ SppPrefetcher::onAccess(const PrefetchTrigger &trigger,
             + (static_cast<Addr>(lk_offset) << kBlockBits);
         std::uint8_t fill_level
             = path_conf >= params_.fill_threshold ? 2 : 3;
-        out.push_back({pf_addr, fill_level,
-                       packMeta(path_conf, sig, depth)});
+        out.push_back(   // tlpsim:cap (caller-reserved)
+            {pf_addr, fill_level,
+             packMeta(path_conf, sig, depth)});
         sig = nextSignature(sig, best->delta);
     }
 }
+
+// tlpsim:endhot
 
 StorageBudget
 SppPrefetcher::storage() const

@@ -1,5 +1,7 @@
 #include "tracefile/champsim.hh"
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -59,12 +61,15 @@ mapReg(std::uint8_t r)
 class InputStream
 {
   public:
-    explicit InputStream(const std::string &path) : path_(path)
+    InputStream(const std::string &path, const std::string &decompress_cmd)
+        : path_(path)
     {
-        if (endsWith(path, ".xz"))
-            openPipe("xz -dc -- " + shellQuote(path), "xz");
+        if (!decompress_cmd.empty())
+            openPipe(decompress_cmd + " " + shellQuote(path));
+        else if (endsWith(path, ".xz"))
+            openPipe("xz -dc -- " + shellQuote(path));
         else if (endsWith(path, ".gz"))
-            openPipe("gzip -dc -- " + shellQuote(path), "gzip");
+            openPipe("gzip -dc -- " + shellQuote(path));
         else {
             f_ = std::fopen(path.c_str(), "rb");
             if (f_ == nullptr) {
@@ -78,10 +83,18 @@ class InputStream
     {
         if (f_ == nullptr)
             return;
-        if (piped_)
+        if (piped_) {
+            // Status deliberately discarded: the destructor only runs
+            // with the stream still open when an exception is already in
+            // flight or a record limit cut the read short — in both cases
+            // the child is being abandoned mid-stream (it will typically
+            // die of SIGPIPE), so its exit status carries no signal about
+            // the input's integrity. The clean-EOF path goes through
+            // finish(), which does check.
             pclose(f_);
-        else
+        } else {
             std::fclose(f_);
+        }
     }
 
     InputStream(const InputStream &) = delete;
@@ -92,7 +105,11 @@ class InputStream
         return std::fread(out, 1, n, f_);
     }
 
-    /** Close and verify the producer exited cleanly; call after EOF. */
+    /** Close and verify the producer exited cleanly; call after EOF.
+     *  A silently dead decompressor truncates the stream at a record
+     *  boundary, which is indistinguishable from a short-but-valid
+     *  trace — so the child's wait status is the only truncation signal
+     *  and must not be discarded. */
     void finish()
     {
         if (!piped_) {
@@ -102,29 +119,46 @@ class InputStream
         }
         const int status = pclose(f_);
         f_ = nullptr;
-        if (status != 0) {
-            throw ConfigError("champsim trace '" + path_ + "': " + tool_
-                              + " exited with status "
-                              + std::to_string(status)
+        if (status == -1) {
+            throw ConfigError("champsim trace '" + path_
+                              + "': decompressor `" + cmd_
+                              + "`: wait failed — child status lost");
+        }
+        if (WIFSIGNALED(status)) {
+            throw ConfigError("champsim trace '" + path_
+                              + "': decompressor `" + cmd_
+                              + "` killed by signal "
+                              + std::to_string(WTERMSIG(status))
+                              + " — output may stop at any record "
+                                "boundary");
+        }
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            const int code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                               : status;
+            throw ConfigError("champsim trace '" + path_
+                              + "': decompressor `" + cmd_
+                              + "` exited with status "
+                              + std::to_string(code)
                               + " — corrupt archive or missing "
                                 "decompressor");
         }
     }
 
   private:
-    void openPipe(const std::string &cmd, const char *tool)
+    void openPipe(const std::string &cmd)
     {
-        tool_ = tool;
+        cmd_ = cmd;
         piped_ = true;
         f_ = popen(cmd.c_str(), "r");
         if (f_ == nullptr) {
-            throw ConfigError("champsim trace '" + path_ + "': cannot start "
-                              + tool_ + " decompressor");
+            throw ConfigError("champsim trace '" + path_
+                              + "': cannot start decompressor `" + cmd_
+                              + "`");
         }
     }
 
     std::string path_;
-    std::string tool_;
+    std::string cmd_;   ///< full pipe command, named in errors
     std::FILE *f_ = nullptr;
     bool piped_ = false;
 };
@@ -213,7 +247,7 @@ ChampSimConvertStats
 convertChampSim(const std::string &in_path, const std::string &out_path,
                 const ChampSimConvertOptions &opt)
 {
-    InputStream in(in_path);
+    InputStream in(in_path, opt.decompress_cmd);
 
     ChampSimConvertStats stats;
     stats.name = opt.name.empty() ? deriveName(in_path) : opt.name;

@@ -63,6 +63,12 @@ struct ChampSimConvertOptions
     std::string name;
     std::uint32_t suite = 0;    ///< 0 = SPEC, 1 = GAP
     std::uint64_t limit = 0;    ///< stop after this many records; 0 = all
+    /** Override the decompressor: run `<decompress_cmd> <path>` (path
+     *  shell-quoted) and read records from its stdout, regardless of the
+     *  input's extension. Empty = pick xz/gzip/plain by suffix. Lets
+     *  tests (and unusual archives) drive the pipe path deterministically,
+     *  including the child-failure reporting. */
+    std::string decompress_cmd;
 };
 
 struct ChampSimConvertStats

@@ -1,0 +1,190 @@
+/**
+ * Dynamic check of the hot-path zero-allocation contract.
+ *
+ * Counting overrides of the global operator new/delete measure heap
+ * traffic around Simulator::step(). After a warmup long enough to reach
+ * every structure's high-water mark (two full passes over a cyclic
+ * trace), the per-cycle loop must not allocate or free at all: the
+ * core's in-flight tables are FlatTables sized at construction, the
+ * cache/DRAM queues are reserved Rings/vectors, and MSHR/DRAM waiter
+ * vectors recycle their capacity through pools.
+ *
+ * This is the runtime complement to tools/hotpath_lint.py, which bans
+ * the same constructs statically inside `// tlpsim:hot` regions. The
+ * counters are plain (non-atomic) because the whole test is
+ * single-threaded; the override itself is process-global, so the test
+ * lives in its own binary.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/system_config.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+std::uint64_t g_news = 0;
+std::uint64_t g_deletes = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_news;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    ++g_news;
+    std::size_t a = static_cast<std::size_t>(align);
+    if (a < sizeof(void *))
+        a = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, a, size ? size : 1) == 0)
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    if (p != nullptr)
+        ++g_deletes;
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    ::operator delete(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    ::operator delete(p);
+}
+
+namespace
+{
+
+using namespace tlpsim;
+
+const workloads::WorkloadSpec &
+pickWorkload(const char *name)
+{
+    static auto specs
+        = workloads::singleCoreWorkloads(workloads::SetSize::Tiny);
+    for (const auto &w : specs) {
+        if (w.name == name)
+            return w;
+    }
+    return specs.front();
+}
+
+/** Steady-state allocations per `steps` simulated cycles under
+ *  `scheme` on `workload`, after `warmup_steps` cycles of warmup. */
+std::uint64_t
+steadyStateAllocs(const char *workload, const SchemeConfig &scheme,
+                  unsigned warmup_steps, unsigned steps)
+{
+    constexpr std::uint64_t kTraceInstrs = 4000;
+    Trace trace = workloads::buildTrace(pickWorkload(workload),
+                                        kTraceInstrs, /*seed=*/1);
+
+    SystemConfig cfg = SystemConfig::cascadeLake(1);
+    cfg.scheme = scheme;
+    Simulator sim(cfg, std::vector<const Trace *>{&trace});
+
+    // Warmup: reach every high-water mark. The trace repeats
+    // cyclically, so this covers its full footprint several times.
+    for (unsigned i = 0; i < warmup_steps; ++i)
+        sim.step();
+
+    const std::uint64_t news_before = g_news;
+    const std::uint64_t deletes_before = g_deletes;
+    for (unsigned i = 0; i < steps; ++i)
+        sim.step();
+    const std::uint64_t news = g_news - news_before;
+    const std::uint64_t deletes = g_deletes - deletes_before;
+
+    EXPECT_GT(sim.core(0).retired(), kTraceInstrs * 2)
+        << "warmup too short to cycle the trace";
+    return news + deletes;
+}
+
+TEST(HotPathAlloc, CountersActuallyCount)
+{
+    const std::uint64_t before = g_news;
+    auto *p = new int(42);
+    EXPECT_GT(g_news, before);
+    const std::uint64_t frees_before = g_deletes;
+    delete p;
+    EXPECT_GT(g_deletes, frees_before);
+}
+
+TEST(HotPathAlloc, BaselineSchemeSteadyStateIsAllocationFree)
+{
+    EXPECT_EQ(steadyStateAllocs("mcf_pchase", SchemeConfig::baseline(),
+                                400'000, 100'000),
+              0u);
+}
+
+TEST(HotPathAlloc, TlpSchemeSteadyStateIsAllocationFree)
+{
+    // The full paper scheme: FLP selective delay + SLP filtering +
+    // IPCP/SPP prefetchers — the busiest per-cycle path in the system.
+    EXPECT_EQ(steadyStateAllocs("mcf_pchase", SchemeConfig::tlp(),
+                                400'000, 100'000),
+              0u);
+}
+
+TEST(HotPathAlloc, GraphWorkloadSteadyStateIsAllocationFree)
+{
+    EXPECT_EQ(steadyStateAllocs("bfs.kron", SchemeConfig::tlp(),
+                                400'000, 100'000),
+              0u);
+}
+
+} // namespace

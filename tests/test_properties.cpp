@@ -95,9 +95,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CacheGeom{1, 1}, CacheGeom{1, 8}, CacheGeom{16, 1},
                       CacheGeom{16, 4}, CacheGeom{64, 8}, CacheGeom{256, 2},
                       CacheGeom{1024, 16}),
-    [](const auto &info) {
-        return std::to_string(info.param.sets) + "s"
-            + std::to_string(info.param.ways) + "w";
+    [](const auto &inf) {
+        return std::to_string(inf.param.sets) + "s"
+            + std::to_string(inf.param.ways) + "w";
     });
 
 // --- DRAM: bandwidth and bank parallelism -----------------------------------
@@ -242,9 +242,9 @@ TEST_P(PageBufferGeomTest, TracksLinesWithinResidentPages)
 INSTANTIATE_TEST_SUITE_P(Geometries, PageBufferGeomTest,
                          ::testing::Values(PbGeom{4, 2}, PbGeom{16, 4},
                                            PbGeom{64, 4}, PbGeom{128, 8}),
-                         [](const auto &info) {
-                             return std::to_string(info.param.entries) + "e"
-                                 + std::to_string(info.param.ways) + "w";
+                         [](const auto &inf) {
+                             return std::to_string(inf.param.entries) + "e"
+                                 + std::to_string(inf.param.ways) + "w";
                          });
 
 // --- Workload scale invariants ---------------------------------------------

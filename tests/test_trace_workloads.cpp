@@ -215,7 +215,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllKinds, GraphKindTest,
     ::testing::Values(GraphKind::Web, GraphKind::Road, GraphKind::Twitter,
                       GraphKind::Kron, GraphKind::Urand),
-    [](const auto &info) { return toString(info.param); });
+    [](const auto &inf) { return toString(inf.param); });
 
 TEST(Graph, PowerLawSkew)
 {
@@ -454,7 +454,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllKernels, GapKernelRecordTest,
     ::testing::Values(GapKernel::Bfs, GapKernel::Pr, GapKernel::Cc,
                       GapKernel::Bc, GapKernel::Tc, GapKernel::Sssp),
-    [](const auto &info) { return toString(info.param); });
+    [](const auto &inf) { return toString(inf.param); });
 
 // --- SPEC-like kernels ----------------------------------------------------
 
@@ -493,7 +493,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SpecKernel::LibqStream, SpecKernel::OmnetppHeap,
                       SpecKernel::XalanHash, SpecKernel::GccMixed,
                       SpecKernel::DeepsjengTt, SpecKernel::RomsSpmv),
-    [](const auto &info) { return toString(info.param); });
+    [](const auto &inf) { return toString(inf.param); });
 
 TEST(SpecKernels, PointerChaseIsDependent)
 {
@@ -591,8 +591,9 @@ TEST(Workloads, MixesGeneralizeToAnyCoreCount)
     auto two = makeMixes(ws, 2, 7, 2);
     ASSERT_EQ(four.size(), two.size());
     for (std::size_t i = 0; i < four.size(); ++i) {
-        if (four[i].homogeneous)
+        if (four[i].homogeneous) {
             EXPECT_EQ(four[i].name, two[i].name);
+        }
     }
 }
 

@@ -452,6 +452,55 @@ TEST(ChampSim, LimitStopsEarly)
     EXPECT_EQ(readInfo(out_path).record_count, 4u);
 }
 
+TEST(ChampSim, CustomDecompressorStreamsRecords)
+{
+    const std::string in_path = scratchPath("pipe.trace");
+    const std::string out_path = scratchPath("pipe.tlt");
+    std::vector<unsigned char> raw;
+    for (int i = 0; i < 5; ++i) {
+        auto rec = champsimRecord(ChampSimFields{});
+        raw.insert(raw.end(), rec.begin(), rec.end());
+    }
+    writeAllBytes(in_path, raw);
+    ChampSimConvertOptions opt;
+    opt.decompress_cmd = "cat --";
+    EXPECT_EQ(convertChampSim(in_path, out_path, opt).records, 5u);
+    EXPECT_EQ(readInfo(out_path).record_count, 5u);
+}
+
+TEST(ChampSim, KilledDecompressorIsAnErrorNamingTheCommand)
+{
+    // The child dies of SIGKILL having written nothing: the stream looks
+    // like a clean (if empty) EOF, so only the wait status can tell the
+    // converter the producer was killed. The shell's kill builtin kills
+    // the popen'd shell itself (a wrapped command would be reaped by the
+    // shell and show up as exit 137, not a signal); the trailing `#`
+    // comments out the appended path.
+    const std::string in_path = scratchPath("killed.trace");
+    const std::string out_path = scratchPath("killed.tlt");
+    writeAllBytes(in_path, champsimRecord(ChampSimFields{}));
+    ChampSimConvertOptions opt;
+    opt.decompress_cmd = "kill -KILL $$ #";
+    expectConfigError(
+        [&] { convertChampSim(in_path, out_path, opt); },
+        {in_path, "kill -KILL", "killed by signal 9"});
+}
+
+TEST(ChampSim, FailingDecompressorExitStatusSurfaces)
+{
+    // The child emits every record, then exits nonzero — the output
+    // alone is a perfectly valid trace, so the exit status must still
+    // fail the conversion.
+    const std::string in_path = scratchPath("exit3.trace");
+    const std::string out_path = scratchPath("exit3.tlt");
+    writeAllBytes(in_path, champsimRecord(ChampSimFields{}));
+    ChampSimConvertOptions opt;
+    opt.decompress_cmd = "sh -c 'cat \"$0\"; exit 3'";
+    expectConfigError(
+        [&] { convertChampSim(in_path, out_path, opt); },
+        {in_path, "exit 3", "exited with status 3", "corrupt archive"});
+}
+
 // ------------------------------------------------- workload integration
 
 TEST(FileWorkloads, ResolveAppendsVerifiedSpecWithContentIdentity)

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Hot-path allocation lint for tlpsim.
+
+Scans C++ sources for regions bracketed by `// tlpsim:hot` and
+`// tlpsim:endhot` markers and rejects constructs that touch the
+allocator (or are otherwise banned) on the per-cycle path:
+
+  * `new` / `make_unique` / `make_shared`
+  * `std::function` (type-erased callables allocate and indirect-call;
+    the codebase uses direct virtual interfaces instead)
+  * node-based containers (`std::deque`, `std::map`, `std::list`, ...)
+  * string construction (`std::string(...)`, `std::to_string`,
+    `ostringstream`, string concatenation is caught via the above)
+  * container growth (`push_back` / `emplace_back` / `resize` /
+    `reserve` / `insert` / `emplace`) -- unless the line carries a
+    `tlpsim:cap` waiver comment asserting the container's capacity is
+    reserved up front or recycled (e.g. a Ring, a pooled vector).
+
+Unbalanced or nested markers are themselves errors, so a region can't
+be silently left open or never closed.
+
+This is a complement to the dynamic check in
+tests/test_hotpath_alloc.cpp: the lint catches banned constructs at
+review time even on paths a short simulation doesn't exercise.
+
+Usage:
+    tools/hotpath_lint.py [paths...]
+With no arguments, scans the default hot directories under src/.
+Exits 0 if clean, 1 if any violation (or marker error) was found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_DIRS = [
+    "src/core",
+    "src/cache",
+    "src/offchip",
+    "src/prefetch",
+    "src/mem",
+]
+
+HOT_MARK = "tlpsim:hot"
+END_MARK = "tlpsim:endhot"
+WAIVER = "tlpsim:cap"
+
+# (regex, message, waivable)
+BANNED = [
+    (re.compile(r"\bnew\b"), "operator new in hot region", False),
+    (re.compile(r"\bmake_(unique|shared)\b"),
+     "heap allocation (make_unique/make_shared) in hot region", False),
+    (re.compile(r"\bstd::function\b"),
+     "std::function in hot region (use a direct virtual interface)", False),
+    (re.compile(r"\bstd::(deque|list|map|multimap|set|multiset"
+                r"|unordered_map|unordered_set|unordered_multimap"
+                r"|unordered_multiset)\b"),
+     "node-based container in hot region (use FlatTable/Ring/vector)",
+     False),
+    (re.compile(r"\bstd::string\s*\(|\bstd::to_string\b"
+                r"|\bostringstream\b|\bstringstream\b"),
+     "string construction in hot region", False),
+    (re.compile(r"\.(push_back|emplace_back|resize|reserve|insert"
+                r"|emplace)\s*\("),
+     "container growth in hot region (waive with `// tlpsim:cap` once "
+     "capacity is reserved or pooled)", True),
+]
+
+SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+
+def split_comment(line: str):
+    """Return (code, comment) around the first `//` outside a string.
+
+    Good enough for this codebase: no multi-line raw strings on the hot
+    path, and block comments are handled by the caller's state.
+    """
+    in_str = None
+    i = 0
+    while i < len(line):
+        c = line[i]
+        if in_str:
+            if c == "\\":
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+        elif c in ("\"", "'"):
+            in_str = c
+        elif c == "/" and line[i:i + 2] == "//":
+            return line[:i], line[i:]
+        i += 1
+    return line, ""
+
+
+def lint_file(path: Path):
+    errors = []
+    in_hot = False
+    hot_open_line = 0
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        return errors
+
+    for lineno, raw in enumerate(lines, start=1):
+        code, comment = split_comment(raw)
+
+        if END_MARK in comment:
+            if not in_hot:
+                errors.append((lineno,
+                               f"`{END_MARK}` without a matching "
+                               f"`{HOT_MARK}`"))
+            in_hot = False
+            continue
+        if HOT_MARK in comment:
+            if in_hot:
+                errors.append((lineno,
+                               f"nested `{HOT_MARK}` (previous region "
+                               f"opened at line {hot_open_line})"))
+            in_hot = True
+            hot_open_line = lineno
+            continue
+
+        if not in_hot:
+            continue
+
+        waived = WAIVER in comment
+        for pattern, message, waivable in BANNED:
+            if pattern.search(code):
+                if waivable and waived:
+                    continue
+                errors.append((lineno, message))
+
+    if in_hot:
+        errors.append((hot_open_line,
+                       f"`{HOT_MARK}` region never closed with "
+                       f"`{END_MARK}`"))
+    return errors
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(f for f in p.rglob("*")
+                                if f.suffix in SUFFIXES))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"hotpath_lint: no such path: {p}", file=sys.stderr)
+            return None
+    return files
+
+
+def main(argv):
+    args = argv[1:]
+    if args:
+        targets = args
+    else:
+        root = Path(__file__).resolve().parent.parent
+        targets = [root / d for d in DEFAULT_DIRS]
+
+    files = collect(targets)
+    if files is None:
+        return 2
+
+    total = 0
+    regions = 0
+    for f in files:
+        text_errors = lint_file(f)
+        regions += sum(1 for line in f.read_text(encoding="utf-8",
+                                                 errors="ignore")
+                       .splitlines()
+                       if HOT_MARK in line and END_MARK not in line)
+        for lineno, message in text_errors:
+            print(f"{f}:{lineno}: error: {message}")
+            total += 1
+
+    if total:
+        print(f"hotpath_lint: {total} violation(s)", file=sys.stderr)
+        return 1
+    print(f"hotpath_lint: clean ({len(files)} files, "
+          f"{regions} hot region(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
