@@ -9,6 +9,9 @@ namespace tlpsim::watchdog
 namespace
 {
 
+// tlpsim:waive(determinism) the watchdog measures real wall-clock time
+// by design; expiry produces a structured failure row, never a silently
+// different simulation result
 using Clock = std::chrono::steady_clock;
 
 struct ThreadWatchdog

@@ -11,9 +11,12 @@ namespace
 const KnobSchema &
 nextLineKnobs()
 {
-    static const KnobSchema schema{
-        {"degree", 1u, "lines prefetched ahead of each access"},
-    };
+    static const KnobSchema schema = [] {
+        const NextLinePrefetcher::Params d;
+        return KnobSchema{
+            {"degree", d.degree, "lines prefetched ahead of each access"},
+        };
+    }();
     return schema;
 }
 
@@ -25,7 +28,9 @@ detail::registerNextLinePrefetcher()
     PrefetcherRegistry::instance().add(
         "next_line", nextLineKnobs(), [](const Config &cfg) {
             Knobs k(cfg, nextLineKnobs(), "prefetcher 'next_line'");
-            return std::make_unique<NextLinePrefetcher>(k.u32("degree"));
+            NextLinePrefetcher::Params p;
+            p.degree = k.u32("degree");
+            return std::make_unique<NextLinePrefetcher>(p);
         });
 }
 

@@ -15,7 +15,18 @@ namespace tlpsim
 class NextLinePrefetcher : public Prefetcher
 {
   public:
-    explicit NextLinePrefetcher(unsigned degree = 1) : degree_(degree) {}
+    struct Params
+    {
+        /** Lines prefetched ahead of each access. */
+        unsigned degree = 1;
+    };
+
+    NextLinePrefetcher() : NextLinePrefetcher(Params{}) {}
+    explicit NextLinePrefetcher(const Params &p) : degree_(p.degree) {}
+    explicit NextLinePrefetcher(unsigned degree)
+        : NextLinePrefetcher(Params{degree})
+    {
+    }
 
     const char *name() const override { return "next_line"; }
 

@@ -19,6 +19,16 @@ allocator (or are otherwise banned) on the per-cycle path:
 Unbalanced or nested markers are themselves errors, so a region can't
 be silently left open or never closed.
 
+Any file containing a hot region is additionally held to a header
+budget: its transitive `#include "..."` closure may only reach headers
+under the declared hot-safe allowlist (HOT_SAFE_PREFIXES /
+HOT_SAFE_HEADERS below). Inline code in an included header runs on the
+hot path just as surely as the region's own lines, so pulling in, say,
+`sim/` or `store/` headers is a violation even when no symbol from
+them appears between the markers. Violations report the full include
+chain from the hot-region file to the offender, so the fix (break the
+chain, or deliberately extend the allowlist) is obvious.
+
 This is a complement to the dynamic check in
 tests/test_hotpath_alloc.cpp: the lint catches banned constructs at
 review time even on paths a short simulation doesn't exercise.
@@ -31,6 +41,7 @@ Exits 0 if clean, 1 if any violation (or marker error) was found.
 
 import re
 import sys
+from collections import deque
 from pathlib import Path
 
 DEFAULT_DIRS = [
@@ -67,6 +78,25 @@ BANNED = [
 ]
 
 SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+# Hot-safe header allowlist (src/-relative include paths). A TU with a
+# hot region may only reach these transitively; everything else —
+# drivers, persistence, workload synthesis — stays off the per-cycle
+# path. Extend deliberately, not to silence a finding: a header is
+# hot-safe when its inline code allocates nothing per call.
+HOT_SAFE_PREFIXES = (
+    "common/",
+    "core/",
+    "cache/",
+    "mem/",
+    "prefetch/",
+    "offchip/",
+    "tlb/",
+    "trace/",
+)
+HOT_SAFE_HEADERS = set()
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 
 
 def split_comment(line: str):
@@ -138,6 +168,73 @@ def lint_file(path: Path):
     return errors
 
 
+def project_includes(path: Path):
+    """All `#include "..."` directives in @p path: [(lineno, target)]."""
+    out = []
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except (UnicodeDecodeError, OSError):
+        return out
+    for lineno, raw in enumerate(lines, start=1):
+        m = INCLUDE_RE.match(raw)
+        if m:
+            out.append((lineno, m.group(1)))
+    return out
+
+
+def src_root_of(path: Path):
+    """The src/ directory @p path lives under, or None."""
+    parts = path.resolve().parts
+    if "src" in parts[:-1]:
+        idx = len(parts) - 2 - parts[:-1][::-1].index("src")
+        return Path(*parts[:idx + 1])
+    return None
+
+
+def hot_safe(include_path: str):
+    return (include_path in HOT_SAFE_HEADERS
+            or include_path.startswith(HOT_SAFE_PREFIXES))
+
+
+def lint_transitive(path: Path, src_root: Path):
+    """Walk the project-include closure of hot-region file @p path and
+    flag every header outside the hot-safe allowlist, with the include
+    chain that reaches it. Returns [(file, lineno, message)]."""
+    errors = []
+    seen = set()
+    queue = deque((path, lineno, inc, [path.name])
+                  for lineno, inc in project_includes(path))
+    while queue:
+        from_path, lineno, inc, chain = queue.popleft()
+        if inc in seen:
+            continue
+        seen.add(inc)
+        if not hot_safe(inc):
+            errors.append((from_path, lineno,
+                           f"hot-region TU transitively pulls "
+                           f"non-hot-safe header '{inc}' "
+                           f"(chain: {' -> '.join(chain + [inc])}); "
+                           f"break the chain, or extend the allowlist "
+                           f"in tools/hotpath_lint.py only if the "
+                           f"header is allocation-free per call"))
+            continue
+        target = src_root / inc
+        if not target.is_file():
+            continue
+        for l2, inc2 in project_includes(target):
+            queue.append((target, l2, inc2, chain + [inc]))
+    return errors
+
+
+def has_hot_region(path: Path):
+    try:
+        text = path.read_text(encoding="utf-8", errors="ignore")
+    except OSError:
+        return False
+    return any(HOT_MARK in line and END_MARK not in line
+               for line in text.splitlines())
+
+
 def collect(paths):
     files = []
     for p in paths:
@@ -167,6 +264,7 @@ def main(argv):
 
     total = 0
     regions = 0
+    closures = 0
     for f in files:
         text_errors = lint_file(f)
         regions += sum(1 for line in f.read_text(encoding="utf-8",
@@ -176,12 +274,20 @@ def main(argv):
         for lineno, message in text_errors:
             print(f"{f}:{lineno}: error: {message}")
             total += 1
+        if has_hot_region(f):
+            src_root = src_root_of(f)
+            if src_root is not None:
+                closures += 1
+                for where, lineno, message in lint_transitive(f,
+                                                              src_root):
+                    print(f"{where}:{lineno}: error: {message}")
+                    total += 1
 
     if total:
         print(f"hotpath_lint: {total} violation(s)", file=sys.stderr)
         return 1
     print(f"hotpath_lint: clean ({len(files)} files, "
-          f"{regions} hot region(s))")
+          f"{regions} hot region(s), {closures} include closure(s))")
     return 0
 
 

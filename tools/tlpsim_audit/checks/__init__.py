@@ -1,0 +1,18 @@
+"""Checker registry for tlpsim-audit.
+
+Each checker module exposes `run(project, files) -> Report`, where
+`files` is {root-relative-path: SourceFile} for every .cc/.hh under
+src/. Adding a check: write the module, add it to CHECKERS, document it
+in the README's check catalog, and give it a pass + seeded-violation
+fixture in selftest.py (the CI audit job refuses a checker whose seeded
+violation does not fail).
+"""
+
+from . import determinism, layering, reset_audit, schema_drift
+
+CHECKERS = {
+    "determinism": determinism.run,
+    "layering": layering.run,
+    "schema": schema_drift.run,
+    "reset": reset_audit.run,
+}
