@@ -102,17 +102,40 @@ main()
     double speedup = par.wall_s > 0.0 ? seq.wall_s / par.wall_s : 0.0;
     unsigned hw = std::thread::hardware_concurrency();
 
-    char json[512];
+    // Host/toolchain metadata: throughput numbers are only comparable
+    // between runs that share these, so the JSON carries them and the
+    // perf gate (tools/perf_gate.py) surfaces baseline mismatches.
+#if defined(__clang__)
+    const char *compiler = "clang " __VERSION__;
+#elif defined(__GNUC__)
+    const char *compiler = "gcc " __VERSION__;
+#else
+    const char *compiler = "unknown";
+#endif
+#ifndef TLPSIM_BUILD_TYPE
+#define TLPSIM_BUILD_TYPE ""
+#endif
+    const char *build_type = TLPSIM_BUILD_TYPE[0] != '\0'
+        ? TLPSIM_BUILD_TYPE
+#ifdef NDEBUG
+        : "release-like";
+#else
+        : "debug-like";
+#endif
+
+    char json[768];
     std::snprintf(
         json, sizeof(json),
         "{\"bench\": \"perf_smoke\", \"workloads\": %zu, \"schemes\": %zu, "
         "\"design_points\": %zu, \"jobs\": %u, \"hw_threads\": %u, "
+        "\"compiler\": \"%s\", \"build_type\": \"%s\", "
         "\"wall_s_jobs1\": %.3f, \"wall_s_jobsN\": %.3f, "
         "\"speedup\": %.2f, "
         "\"sim_kcycles_per_s_jobs1\": %.1f, "
         "\"sim_kcycles_per_s_jobsN\": %.1f, "
         "\"identical_stats\": %s}",
         ws.size(), grid.size(), ws.size() * grid.size(), jobs_n, hw,
+        compiler, build_type,
         seq.wall_s, par.wall_s, speedup,
         seq.wall_s > 0 ? seq.total_cycles / seq.wall_s / 1e3 : 0.0,
         par.wall_s > 0 ? par.total_cycles / par.wall_s / 1e3 : 0.0,

@@ -1,6 +1,11 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
 #include <cassert>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "common/bitops.hh"
 #include "mem/dram.hh"
@@ -24,10 +29,64 @@ levelIndex(MemLevel l)
     }
 }
 
+// Tag-scan kernel: way of the first tags_[w] == tag, or -1. The scalar
+// and AVX2 bodies return the same way (movemask+ctz picks the lowest
+// match, matching the scalar loop's first-hit order), so dispatch is
+// invisible to the simulation. kNoTag never equals a block number, so
+// invalid ways can never match.
+inline int
+findWayScalar(const Addr *tags, unsigned ways, Addr tag)
+{
+    for (unsigned w = 0; w < ways; ++w) {
+        if (tags[w] == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) int
+findWayAvx2(const Addr *tags, unsigned ways, Addr tag)
+{
+    static_assert(sizeof(Addr) == 8, "tag scan assumes 64-bit tags");
+    const __m256i vtag = _mm256_set1_epi64x(static_cast<long long>(tag));
+    for (unsigned w = 0; w < ways; w += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + w));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vtag)));
+        if (m != 0)
+            return static_cast<int>(w) + __builtin_ctz(static_cast<unsigned>(m));
+    }
+    return -1;
+}
+
+bool
+hostHasAvx2ForTags()
+{
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+}
+#endif
+
+/** Associativity-dispatched scan (AVX2 when the host has it and the
+ *  set's tag run is a whole number of 4-lane vectors). */
+inline int
+findWay(const Addr *tags, unsigned ways, Addr tag)
+{
+#if defined(__x86_64__)
+    if ((ways & 3u) == 0 && hostHasAvx2ForTags())
+        return findWayAvx2(tags, ways, tag);
+#endif
+    return findWayScalar(tags, ways, tag);
+}
+
 } // namespace
 
 Cache::Cache(const Params &p, MemoryBackend *lower, StatGroup *stats)
     : params_(p), lower_(lower), stats_(stats),
+      tags_(static_cast<std::size_t>(p.sets) * p.ways, kNoTag),
+      lru_(static_cast<std::size_t>(p.sets) * p.ways, 0),
       blocks_(static_cast<std::size_t>(p.sets) * p.ways)
 {
     assert(isPowerOfTwo(p.sets));
@@ -106,30 +165,13 @@ Cache::lookup(Addr paddr, bool update_lru)
 {
     Addr block = blockNumber(paddr);
     std::size_t set = block & (params_.sets - 1);
-    Block *base = &blocks_[set * params_.ways];
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (base[w].valid && base[w].tag == block) {
-            if (update_lru)
-                base[w].lru = ++lru_clock_;
-            return &base[w];
-        }
-    }
-    return nullptr;
-}
-
-Cache::Block &
-Cache::victimFor(Addr paddr)
-{
-    std::size_t set = blockNumber(paddr) & (params_.sets - 1);
-    Block *base = &blocks_[set * params_.ways];
-    Block *victim = base;
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (!base[w].valid)
-            return base[w];
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    return *victim;
+    const Addr *tbase = &tags_[set * params_.ways];
+    const int w = findWay(tbase, params_.ways, block);
+    if (w < 0)
+        return nullptr;
+    if (update_lru)
+        lru_[set * params_.ways + static_cast<unsigned>(w)] = ++lru_clock_;
+    return &blocks_[set * params_.ways + static_cast<unsigned>(w)];
 }
 
 Cache::Mshr *
@@ -148,12 +190,7 @@ Cache::probe(Addr paddr) const
 {
     Addr block = blockNumber(paddr);
     std::size_t set = block & (params_.sets - 1);
-    const Block *base = &blocks_[set * params_.ways];
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (base[w].valid && base[w].tag == block)
-            return true;
-    }
-    return false;
+    return findWay(&tags_[set * params_.ways], params_.ways, block) >= 0;
 }
 
 bool
@@ -161,7 +198,9 @@ Cache::sendRead(const Packet &pkt)
 {
     if (rq_.size() >= params_.rq_size)
         return false;
-    rq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
+    const Cycle ready = pkt.birth + params_.latency;
+    rq_.push_back({pkt, ready});   // tlpsim:cap (Ring, reserved)
+    next_ready_ = std::min(next_ready_, ready);
     return true;
 }
 
@@ -170,7 +209,9 @@ Cache::sendWrite(const Packet &pkt)
 {
     if (wq_.size() >= params_.wq_size)
         return false;
-    wq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
+    const Cycle ready = pkt.birth + params_.latency;
+    wq_.push_back({pkt, ready});   // tlpsim:cap (Ring, reserved)
+    next_ready_ = std::min(next_ready_, ready);
     return true;
 }
 
@@ -179,7 +220,9 @@ Cache::sendPrefetch(const Packet &pkt)
 {
     if (pq_.size() >= params_.pq_size)
         return false;
-    pq_.push_back({pkt, pkt.birth + params_.latency});   // tlpsim:cap (Ring, reserved)
+    const Cycle ready = pkt.birth + params_.latency;
+    pq_.push_back({pkt, ready});   // tlpsim:cap (Ring, reserved)
+    next_ready_ = std::min(next_ready_, ready);
     return true;
 }
 
@@ -187,6 +230,7 @@ void
 Cache::memReturn(const Packet &pkt)
 {
     fills_.push_back({pkt, pkt.birth});   // tlpsim:cap (Ring, reserved)
+    next_ready_ = 0;   // fills are processed on the very next tick
 }
 
 void
@@ -204,15 +248,15 @@ Cache::countAccess(AccessType type, bool hit)
 }
 
 void
-Cache::classifyEviction(const Block &blk)
+Cache::classifyEviction(Addr tag, const Block &blk)
 {
-    if (!blk.valid)
+    if (tag == kNoTag)
         return;
     if (blk.prefetched) {
         pf_useless_->add();
         pf_useless_from_[levelIndex(blk.pf_served_from)]->add();
         if (params_.filter != nullptr)
-            params_.filter->onPrefetchedEvictUnused(blk.tag << kBlockBits);
+            params_.filter->onPrefetchedEvictUnused(tag << kBlockBits);
     }
 }
 
@@ -226,10 +270,25 @@ Cache::install(const Packet &pkt, Cycle now)
         return true;
     }
 
-    Block &victim = victimFor(pkt.paddr);
-    if (victim.valid && victim.dirty) {
+    // Victim: first invalid way, else LRU.
+    const std::size_t set = blockNumber(pkt.paddr) & (params_.sets - 1);
+    Addr *tbase = &tags_[set * params_.ways];
+    std::uint64_t *lbase = &lru_[set * params_.ways];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (tbase[w] == kNoTag) {
+            victim = w;
+            break;
+        }
+        if (lbase[w] < lbase[victim])
+            victim = w;
+    }
+
+    Block &vb = blocks_[set * params_.ways + victim];
+    const Addr vtag = tbase[victim];
+    if (vtag != kNoTag && vb.dirty) {
         Packet wb;
-        wb.paddr = victim.tag << kBlockBits;
+        wb.paddr = vtag << kBlockBits;
         wb.vaddr = wb.paddr;
         wb.type = AccessType::Writeback;
         wb.core = pkt.core;
@@ -238,14 +297,13 @@ Cache::install(const Packet &pkt, Cycle now)
             return false;   // retry when the lower write queue drains
         writebacks_->add();
     }
-    classifyEviction(victim);
+    classifyEviction(vtag, vb);
 
-    victim.tag = blockNumber(pkt.paddr);
-    victim.valid = true;
-    victim.dirty = false;
-    victim.prefetched = false;
-    victim.pf_served_from = MemLevel::None;
-    victim.lru = ++lru_clock_;
+    tbase[victim] = blockNumber(pkt.paddr);
+    vb.dirty = false;
+    vb.prefetched = false;
+    vb.pf_served_from = MemLevel::None;
+    lbase[victim] = ++lru_clock_;
     return true;
 }
 
@@ -523,6 +581,8 @@ Cache::processPrefetch(TimedPacket &entry, Cycle now)
             pf_dup_->add();
             return true;
         }
+        if (!lower_->canAcceptPrefetch())
+            return false;   // retry without rebuilding the packet
         Packet fwd = pkt;
         fwd.birth = now;
         return lower_->sendPrefetch(fwd);
@@ -555,6 +615,8 @@ Cache::processPrefetch(TimedPacket &entry, Cycle now)
     }
     if (mshrs_.size() >= params_.mshrs)
         return false;
+    if (!lower_->canAcceptPrefetch())
+        return false;   // retry without rebuilding the packet
 
     Packet fwd = pkt;
     fwd.requestor = this;
@@ -581,9 +643,33 @@ Cache::flushSpecDelay(Cycle now)
     }
 }
 
+Cycle
+Cache::computeNextReady(Cycle now) const
+{
+    // Pending fills (including ones blocked on a full lower WQ) retry
+    // every cycle; otherwise the earliest queue-front due time decides.
+    // A front that is already due but stayed (budget exhausted, blocked
+    // miss) clamps to now+1 — those paths bump counters per retry cycle,
+    // so they must keep ticking.
+    if (!fills_.empty())
+        return now + 1;
+    Cycle e = kCycleNever;
+    if (!spec_delay_.empty())
+        e = std::min(e, std::max(spec_delay_.front().ready_at, now + 1));
+    if (!rq_.empty())
+        e = std::min(e, std::max(rq_.front().ready_at, now + 1));
+    if (!wq_.empty())
+        e = std::min(e, std::max(wq_.front().ready_at, now + 1));
+    if (!pq_.empty())
+        e = std::min(e, std::max(pq_.front().ready_at, now + 1));
+    return e;
+}
+
 void
 Cache::tick(Cycle now)
 {
+    if (now < next_ready_)
+        return;   // quiet cycle: nothing due yet
     now_ = now;
     processFills(now);
     if (!spec_delay_.empty())
@@ -608,6 +694,8 @@ Cache::tick(Cycle now)
         pq_.pop_front();
         --budget;
     }
+
+    next_ready_ = computeNextReady(now);
 }
 
 // tlpsim:endhot

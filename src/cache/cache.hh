@@ -85,8 +85,29 @@ class Cache : public MemoryBackend, public MemoryClient
     bool sendRead(const Packet &pkt) override;
     bool sendWrite(const Packet &pkt) override;
     bool sendPrefetch(const Packet &pkt) override;
+    bool canAcceptPrefetch() const override { return pq_.size() < params_.pq_size; }
     bool probe(Addr paddr) const override;
     void tick(Cycle now) override;
+
+    /** Per-cycle entry point for the simulator loop: checks the quiet
+     *  watermark inline so a no-op cycle costs one compare instead of a
+     *  virtual call into tick()'s identical early return. */
+    void
+    tickIfDue(Cycle now)
+    {
+        if (now >= next_ready_)
+            tick(now);
+    }
+
+    /**
+     * Earliest cycle strictly after @p now at which tick() has any work
+     * (kCycleNever if quiescent until a send/fill arrives). Valid after
+     * tick(now); the same watermark also short-circuits quiet ticks.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        return next_ready_ > now ? next_ready_ : now + 1;
+    }
 
     // MemoryClient (fills returning from the lower level)
     void memReturn(const Packet &pkt) override;
@@ -100,14 +121,20 @@ class Cache : public MemoryBackend, public MemoryClient
     std::uint64_t storageBits() const;
 
   private:
+    /** Sentinel in tags_ for an invalid way: larger than any block
+     *  number the 46-bit physical space (plus PTE region) can produce. */
+    static constexpr Addr kNoTag = ~Addr{0};
+
+    /** Per-way metadata. The tag and LRU stamp live in the parallel
+     *  tags_/lru_ arrays — the lookup/probe tag scans and the victim
+     *  scan each walk one flat array (a set's 8-16 entries span one or
+     *  two cache lines) without dragging the rest of the metadata
+     *  through. A way is valid iff its tags_ entry != kNoTag. */
     struct Block
     {
-        Addr tag = 0;            ///< block number
-        bool valid = false;
         bool dirty = false;
         bool prefetched = false; ///< filled by a prefetch, not yet used
         MemLevel pf_served_from = MemLevel::None;
-        std::uint64_t lru = 0;
     };
 
     struct Mshr
@@ -127,8 +154,10 @@ class Cache : public MemoryBackend, public MemoryClient
     };
 
     Block *lookup(Addr paddr, bool update_lru);
-    Block &victimFor(Addr paddr);
     Mshr *findMshr(Addr paddr);
+
+    /** Recompute next_ready_ from the queue fronts (end of tick()). */
+    Cycle computeNextReady(Cycle now) const;
 
     void processFills(Cycle now);
     bool processRead(TimedPacket &entry, Cycle now);
@@ -145,14 +174,17 @@ class Cache : public MemoryBackend, public MemoryClient
     std::vector<Packet> takeWaiterStorage();
     void notifyPrefetcher(const Packet &pkt, bool hit, bool prefetch_hit,
                           Cycle now);
-    void classifyEviction(const Block &blk);
+    /** @p tag is the victim's tags_ entry (kNoTag for an empty way). */
+    void classifyEviction(Addr tag, const Block &blk);
     void countAccess(AccessType type, bool hit);
 
     Params params_;
     MemoryBackend *lower_;
     StatGroup *stats_;
 
-    std::vector<Block> blocks_;
+    std::vector<Addr> tags_;        ///< per way; kNoTag = invalid
+    std::vector<std::uint64_t> lru_; ///< LRU stamps parallel to tags_
+    std::vector<Block> blocks_;     ///< metadata parallel to tags_
     std::vector<Mshr> mshrs_;
     // FIFO queues are rings, not deques: libstdc++'s deque mallocs and
     // frees a node every ~512B of traffic, which lands on the per-cycle
@@ -172,6 +204,11 @@ class Cache : public MemoryBackend, public MemoryClient
     std::vector<PrefetchCandidate> cand_buf_;
     std::uint64_t lru_clock_ = 0;
     Cycle now_ = 0;
+    /** Quiet-cycle watermark: when now < next_ready_, tick(now) would be
+     *  a no-op (no fills pending, no spec issue or queue front due), so
+     *  tick() returns immediately. Pushed down by sendRead/sendWrite/
+     *  sendPrefetch/memReturn, recomputed at the end of a full tick. */
+    Cycle next_ready_ = 0;
 
     // Per-type hit/miss counters, indexed by AccessType.
     Counter *hit_[5];

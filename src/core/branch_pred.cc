@@ -1,5 +1,7 @@
 #include "core/branch_pred.hh"
 
+#include <cassert>
+
 #include "common/bitops.hh"
 
 namespace tlpsim
@@ -24,6 +26,10 @@ BranchPredictor::BranchPredictor(const Params &p, StatGroup *stats)
       correct_(stats->counter(p.name + ".correct")),
       mispredict_(stats->counter(p.name + ".mispredict"))
 {
+    // computeIndices() folds the shared PC term once, which is only
+    // sound while every table hashes into the same index space.
+    for (unsigned t = 1; t < p.num_tables; ++t)
+        assert(perceptron_.indexBits(t) == perceptron_.indexBits(0));
 }
 
 void
@@ -31,11 +37,20 @@ BranchPredictor::computeIndices(Addr ip, std::uint16_t *out) const
 {
     // Table t sees the PC hashed with an 8-bit slice of global history;
     // table 0 is history-free (bias + PC).
-    for (unsigned t = 0; t < params_.num_tables; ++t) {
-        std::uint64_t hist_slice = t == 0 ? 0 : bits(ghist_, (t - 1) * 8, 8);
-        std::uint64_t v = (ip >> 2) ^ (hist_slice << (t & 3))
-            ^ (hist_slice * 0x9e37);
-        out[t] = perceptron_.indexFor(t, v);
+    //
+    // foldedXor is XOR-linear (it XORs fixed out_bits-wide slices), so
+    // fold(a ^ b) == fold(a) ^ fold(b). Every bpred table shares one
+    // geometry, which lets the full-width PC term be folded once; the
+    // per-table folds then only cover the <= 24-bit history terms.
+    const unsigned ob = perceptron_.indexBits(0);
+    const std::uint64_t mask = perceptron_.entriesOf(0) - 1;
+    const std::uint64_t pc_fold = foldedXor(ip >> 2, ob);
+    out[0] = static_cast<std::uint16_t>(pc_fold & mask);
+    for (unsigned t = 1; t < params_.num_tables; ++t) {
+        std::uint64_t hist_slice = bits(ghist_, (t - 1) * 8, 8);
+        std::uint64_t h = foldedXor(hist_slice << (t & 3), ob)
+            ^ foldedXor(hist_slice * 0x9e37, ob);
+        out[t] = static_cast<std::uint16_t>((pc_fold ^ h) & mask);
     }
 }
 

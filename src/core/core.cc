@@ -23,7 +23,7 @@ wordKey(Addr vaddr)
 Core::Core(const Params &p, const Ports &ports, StatGroup *stats)
     : params_(p), ports_(ports),
       bpred_({8, 1024, 20, p.name + ".bpred"}, stats),
-      rob_(p.rob_size), regs_(kNumRegs),
+      rob_size_(p.rob_size), regs_(kNumRegs),
       instrs_(stats->counter(p.name + ".instrs")),
       loads_(stats->counter(p.name + ".loads")),
       stores_(stats->counter(p.name + ".stores")),
@@ -34,6 +34,22 @@ Core::Core(const Params &p, const Ports &ports, StatGroup *stats)
       walks_(stats->counter(p.name + ".page_walks")),
       spec_from_core_(stats->counter(p.name + ".spec_from_core"))
 {
+    rob_ip_.assign(rob_size_, 0);
+    rob_ld_vaddr_.assign(rob_size_, 0);
+    rob_st_vaddr_.assign(rob_size_, 0);
+    rob_dst_.assign(rob_size_, kNoReg);
+    rob_unresolved_.assign(rob_size_, 0);
+    rob_is_load_.assign(rob_size_, 0);
+    rob_is_store_.assign(rob_size_, 0);
+    rob_mispred_.assign(rob_size_, 0);
+    rob_state_.assign(rob_size_, State::WaitOps);
+    rob_ready_.assign(rob_size_, 0);
+    rob_done_.assign(rob_size_, 0);
+    rob_serial_.assign(rob_size_, 0);
+    rob_load_id_.assign(rob_size_, 0);
+    dep_head_.assign(rob_size_, -1);
+    dep_tail_.assign(rob_size_, -1);
+    dep_next_.assign(rob_size_ * 2, -1);
     issue_list_.reserve(p.lq_size);
     // Size every in-flight structure to its structural bound up front —
     // the per-cycle loop below never allocates once these are warm.
@@ -73,9 +89,73 @@ Core::tick(Cycle now)
     fetchAndDispatch(now);
 }
 
+Cycle
+Core::nextEventCycle(Cycle now)
+{
+    Cycle ev = kCycleNever;
+    // Retire: the head entry can act only once Done, at its done cycle.
+    // A head that is already past-due (blocked store write, exhausted
+    // retire width) must keep retrying every cycle.
+    if (rob_head_ != rob_tail_) {
+        const std::uint32_t head = robIndex(rob_head_);
+        if (rob_state_[head] == State::Done)
+            ev = std::min(ev, std::max(rob_done_[head], now + 1));
+    }
+    // Loads waiting to issue act at their operand-ready cycle; one that
+    // stayed blocked this tick (port/cap/queue-full) retries next cycle.
+    for (std::uint32_t slot : issue_list_) {
+        if (rob_state_[slot] == State::WaitIssue)
+            ev = std::min(ev, std::max(rob_ready_[slot], now + 1));
+    }
+    if (!spec_delay_.empty())
+        ev = std::min(ev, std::max(spec_delay_.front().first, now + 1));
+    // Fetch: mirror fetchAndDispatch()'s break conditions. Waiting on an
+    // L1I fill and ROB-full are pure per-cycle counter bumps until an
+    // external event — replayed by onCyclesSkipped(), no event here.
+    // A blocked-branch token clears when the branch completes (covered
+    // by the issue/retire/response events above).
+    if (!ifetch_.waiting) {
+        if (fetch_retry_) {
+            ev = now + 1;   // failed L1I send: retries (and counts) per cycle
+        } else if (fetch_block_tokens_ == 0) {
+            if (now < fetch_stall_until_) {
+                ev = std::min(ev, fetch_stall_until_);
+            } else if (!robFull()) {
+                const TraceInstr &peeked = ports_.trace->peek();
+                const bool lq_block =
+                    peeked.isLoad() && loads_in_flight_ >= params_.lq_size;
+                const bool sq_block =
+                    peeked.isStore() && stores_in_flight_ >= params_.sq_size;
+                if (!lq_block && !sq_block)
+                    ev = now + 1;   // fetch can make progress next cycle
+            }
+        }
+    }
+    return ev;
+}
+
+void
+Core::onCyclesSkipped(Cycle delta)
+{
+    // Replay the counters fetchAndDispatch() bumps on every quiescent
+    // cycle, in the same priority order as its early exits. The other
+    // no-counter exits (blocked branch, mispredict stall window, LQ/SQ
+    // peek block) skip silently. Valid only when nextEventCycle() had no
+    // event inside the window, which pins these conditions across it.
+    if (ifetch_.waiting) {
+        ifetch_stalls_->add(delta);
+        return;
+    }
+    if (fetch_block_tokens_ > 0 || now_ < fetch_stall_until_)
+        return;
+    if (robFull())
+        rob_full_->add(delta);
+}
+
 void
 Core::fetchAndDispatch(Cycle now)
 {
+    fetch_retry_ = false;
     if (ifetch_.waiting) {
         ifetch_stalls_->add();
         return;
@@ -83,7 +163,7 @@ Core::fetchAndDispatch(Cycle now)
     for (unsigned f = 0; f < params_.fetch_width; ++f) {
         if (fetchBlocked(now))
             break;
-        if (rob_tail_ - rob_head_ >= rob_.size()) {
+        if (robFull()) {
             rob_full_->add();
             break;
         }
@@ -110,6 +190,8 @@ Core::fetchAndDispatch(Cycle now)
                 if (ports_.l1i->sendRead(p)) {
                     ifetch_.waiting = true;
                     ifetch_.last_line = line;
+                } else {
+                    fetch_retry_ = true;
                 }
                 ifetch_stalls_->add();
                 break;
@@ -126,117 +208,135 @@ void
 Core::dispatch(const TraceInstr &instr, Cycle now)
 {
     std::uint32_t slot = robIndex(rob_tail_++);
-    RobEntry &e = rob_[slot];
-    e.ip = instr.ip;
-    e.ld_vaddr = instr.ld_vaddr;
-    e.st_vaddr = instr.st_vaddr;
-    e.dst = instr.dst;
-    e.unresolved = 0;
-    e.is_load = instr.isLoad();
-    e.is_store = instr.isStore();
-    e.mispredicted_branch = false;
-    e.ready = now + 1;
-    e.done = 0;
-    e.serial = next_serial_++;
-    e.load_id = 0;
-    e.dependents.clear();
+    rob_ip_[slot] = instr.ip;
+    rob_ld_vaddr_[slot] = instr.ld_vaddr;
+    rob_st_vaddr_[slot] = instr.st_vaddr;
+    rob_dst_[slot] = instr.dst;
+    rob_unresolved_[slot] = 0;
+    rob_is_load_[slot] = instr.isLoad() ? 1 : 0;
+    rob_is_store_[slot] = instr.isStore() ? 1 : 0;
+    rob_mispred_[slot] = 0;
+    rob_ready_[slot] = now + 1;
+    rob_done_[slot] = 0;
+    const std::uint64_t serial = next_serial_++;
+    rob_serial_[slot] = serial;
+    rob_load_id_[slot] = 0;
+    dep_head_[slot] = -1;
+    dep_tail_[slot] = -1;
 
-    for (RegId r : {instr.src0, instr.src1}) {
+    const RegId srcs[2] = {instr.src0, instr.src1};
+    for (unsigned op = 0; op < 2; ++op) {
+        const RegId r = srcs[op];
         if (r == kNoReg)
             continue;
         RegState &rs = regs_[r];
         if (rs.producer_slot >= 0
-            && rob_[static_cast<std::uint32_t>(rs.producer_slot)].serial
+            && rob_serial_[static_cast<std::uint32_t>(rs.producer_slot)]
                    == rs.producer_serial) {
-            rob_[static_cast<std::uint32_t>(rs.producer_slot)]
-                .dependents.push_back(slot);   // tlpsim:cap (kept capacity)
-            ++e.unresolved;
+            addDependent(static_cast<std::uint32_t>(rs.producer_slot),
+                         slot, op);
+            ++rob_unresolved_[slot];
         } else {
-            e.ready = std::max(e.ready, rs.ready);
+            rob_ready_[slot] = std::max(rob_ready_[slot], rs.ready);
         }
     }
-    if (e.dst != kNoReg) {
-        regs_[e.dst] = {0, static_cast<std::int32_t>(slot), e.serial};
+    if (instr.dst != kNoReg) {
+        regs_[instr.dst] = {0, static_cast<std::int32_t>(slot), serial};
     }
 
     if (instr.branch == BranchKind::Conditional) {
         branches_->add();
         bool correct = bpred_.predictAndTrain(instr.ip, instr.taken);
         if (!correct) {
-            e.mispredicted_branch = true;
+            rob_mispred_[slot] = 1;
             ++fetch_block_tokens_;   // released when the branch resolves
         }
     }
-    if (e.is_load) {
+    if (rob_is_load_[slot] != 0) {
         loads_->add();
         ++loads_in_flight_;
-        e.load_id = next_load_id_++;
+        rob_load_id_[slot] = next_load_id_++;
     }
-    if (e.is_store) {
+    if (rob_is_store_[slot] != 0) {
         stores_->add();
         ++stores_in_flight_;
-        ++pending_store_words_[wordKey(e.st_vaddr)];
+        ++pending_store_words_[wordKey(instr.st_vaddr)];
     }
 
-    if (e.unresolved == 0)
+    if (rob_unresolved_[slot] == 0)
         scheduleExec(slot, now);
     else
-        e.state = State::WaitOps;
+        rob_state_[slot] = State::WaitOps;
+}
+
+void
+Core::addDependent(std::uint32_t producer, std::uint32_t slot,
+                   unsigned operand)
+{
+    // Chain node id: "operand N of consumer S". The node lives in exactly
+    // one producer's chain at a time (an operand has one producer), and
+    // appending at the tail reproduces the old per-entry vector's
+    // push_back order, so wakeups fire in the exact same sequence.
+    const std::int32_t node = static_cast<std::int32_t>(slot * 2 + operand);
+    dep_next_[node] = -1;
+    if (dep_tail_[producer] >= 0)
+        dep_next_[dep_tail_[producer]] = node;
+    else
+        dep_head_[producer] = node;
+    dep_tail_[producer] = node;
 }
 
 void
 Core::scheduleExec(std::uint32_t slot, Cycle now)
 {
-    RobEntry &e = rob_[slot];
-    if (e.is_load) {
-        e.state = State::WaitIssue;
+    if (rob_is_load_[slot] != 0) {
+        rob_state_[slot] = State::WaitIssue;
         issue_list_.push_back(slot);   // tlpsim:cap (reserved lq_size)
         return;
     }
-    complete(slot, std::max(e.ready, now) + 1);
+    complete(slot, std::max(rob_ready_[slot], now) + 1);
 }
 
 void
 Core::complete(std::uint32_t slot, Cycle done_cycle)
 {
-    RobEntry &e = rob_[slot];
-    e.state = State::Done;
-    e.done = done_cycle;
-    if (e.mispredicted_branch) {
+    rob_state_[slot] = State::Done;
+    rob_done_[slot] = done_cycle;
+    if (rob_mispred_[slot] != 0) {
         fetch_stall_until_ = std::max(
             fetch_stall_until_, done_cycle + params_.mispredict_penalty);
         assert(fetch_block_tokens_ > 0);
         --fetch_block_tokens_;
-        e.mispredicted_branch = false;
+        rob_mispred_[slot] = 0;
     }
-    if (e.dst != kNoReg) {
-        RegState &rs = regs_[e.dst];
+    const RegId dst = rob_dst_[slot];
+    if (dst != kNoReg) {
+        RegState &rs = regs_[dst];
         if (rs.producer_slot == static_cast<std::int32_t>(slot)
-            && rs.producer_serial == e.serial) {
+            && rs.producer_serial == rob_serial_[slot]) {
             rs = {done_cycle, -1, 0};
         }
     }
-    if (!e.dependents.empty()) {
-        // Iterate in place: the complete() recursion below (via
-        // resolveOperand → scheduleExec) only ever touches *younger*
-        // slots' dependent lists — nothing appends to this one mid-walk
-        // and rob_ itself never reallocates — so the vector's capacity
-        // can be kept. (The old move-out-to-a-local freed and
-        // reallocated this list once per completed producer, a
-        // steady-state malloc/free pair on the per-cycle path.)
-        for (std::size_t i = 0; i < e.dependents.size(); ++i)
-            resolveOperand(e.dependents[i], done_cycle, now_);
-        e.dependents.clear();
+    // Walk the dependent chain head-to-tail (insertion order). The
+    // complete() recursion below (via resolveOperand → scheduleExec)
+    // only ever touches *younger* slots' chains — nothing appends to
+    // this one mid-walk — so caching `next` before the call is enough.
+    for (std::int32_t node = dep_head_[slot]; node >= 0;) {
+        const std::int32_t next = dep_next_[node];
+        resolveOperand(static_cast<std::uint32_t>(node) / 2, done_cycle,
+                       now_);
+        node = next;
     }
+    dep_head_[slot] = -1;
+    dep_tail_[slot] = -1;
 }
 
 void
 Core::resolveOperand(std::uint32_t slot, Cycle ready_cycle, Cycle now)
 {
-    RobEntry &e = rob_[slot];
-    e.ready = std::max(e.ready, ready_cycle);
-    assert(e.unresolved > 0);
-    if (--e.unresolved == 0)
+    rob_ready_[slot] = std::max(rob_ready_[slot], ready_cycle);
+    assert(rob_unresolved_[slot] > 0);
+    if (--rob_unresolved_[slot] == 0)
         scheduleExec(slot, now);
 }
 
@@ -246,13 +346,12 @@ Core::issueLoads(Cycle now)
     unsigned ports = params_.load_ports;
     for (std::size_t i = 0; i < issue_list_.size() && ports > 0;) {
         std::uint32_t slot = issue_list_[i];
-        RobEntry &e = rob_[slot];
-        if (e.state != State::WaitIssue) {
+        if (rob_state_[slot] != State::WaitIssue) {
             issue_list_[i] = issue_list_.back();
             issue_list_.pop_back();
             continue;
         }
-        if (e.ready > now) {
+        if (rob_ready_[slot] > now) {
             ++i;
             continue;
         }
@@ -269,8 +368,7 @@ Core::issueLoads(Cycle now)
 bool
 Core::issueOneLoad(std::uint32_t slot, Cycle now)
 {
-    RobEntry &e = rob_[slot];
-    const Addr vaddr = e.ld_vaddr;
+    const Addr vaddr = rob_ld_vaddr_[slot];
 
     // Back-pressure: inflight_loads_ is sized to a fixed structural
     // bound (entries can outlive retirement while a demand read is in
@@ -293,16 +391,16 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
             // appending this slot to the walk's intrusive waiter chain
             // (insertion order — wakeup order must match it).
             walk_next_[slot] = -1;
-            walk_serial_[slot] = e.serial;
+            walk_serial_[slot] = rob_serial_[slot];
             walk_next_[w->tail] = static_cast<std::int32_t>(slot);
             w->tail = static_cast<std::int32_t>(slot);
-            e.state = State::WaitWalk;
+            rob_state_[slot] = State::WaitWalk;
             return true;
         }
         Packet walk;
         walk.paddr = ports_.page_table->pteAddress(params_.id, vaddr);
         walk.vaddr = walk.paddr;
-        walk.ip = e.ip;
+        walk.ip = rob_ip_[slot];
         walk.type = AccessType::Translation;
         walk.core = static_cast<std::uint8_t>(params_.id);
         walk.requestor = this;
@@ -312,30 +410,30 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
             return false;   // retry next cycle
         walks_->add();
         walk_next_[slot] = -1;
-        walk_serial_[slot] = e.serial;
+        walk_serial_[slot] = rob_serial_[slot];
         walk_inflight_[vpn] = WalkInflight{
             vaddr, static_cast<std::int32_t>(slot),
             static_cast<std::int32_t>(slot)};
-        e.state = State::WaitWalk;
+        rob_state_[slot] = State::WaitWalk;
         return true;
     }
 
     OffChipPredictor::Decision d;
     if (ports_.offchip != nullptr)
-        d = ports_.offchip->predictLoad(e.ip, vaddr);
+        d = ports_.offchip->predictLoad(rob_ip_[slot], vaddr);
 
     Addr paddr = ports_.page_table->translate(params_.id, vaddr);
 
     Packet pkt;
     pkt.vaddr = vaddr;
     pkt.paddr = paddr;
-    pkt.ip = e.ip;
+    pkt.ip = rob_ip_[slot];
     pkt.type = AccessType::Load;
     pkt.core = static_cast<std::uint8_t>(params_.id);
     pkt.offchip_pred = d.predicted_offchip;
     pkt.delayed_offchip_flag = d.delayed_flag;
     pkt.requestor = this;
-    pkt.req_id = e.load_id;
+    pkt.req_id = rob_load_id_[slot];
     pkt.birth = now + (tr.latency > 0 ? tr.latency - 1 : 0);
     if (!ports_.l1d->sendRead(pkt))
         return false;   // L1D read queue full: retry
@@ -351,8 +449,9 @@ Core::issueOneLoad(std::uint32_t slot, Cycle now)
             ports_.spec_observer->onSpecIssued(spec);
     }
 
-    inflight_loads_[e.load_id] = {slot, e.serial, d.meta, false};
-    e.state = State::WaitMem;
+    inflight_loads_[rob_load_id_[slot]] =
+        {slot, rob_serial_[slot], d.meta, false};
+    rob_state_[slot] = State::WaitMem;
     return true;
 }
 
@@ -371,14 +470,14 @@ Core::retire(Cycle now)
     for (unsigned n = 0; n < params_.retire_width && rob_head_ != rob_tail_;
          ++n) {
         std::uint32_t slot = robIndex(rob_head_);
-        RobEntry &e = rob_[slot];
-        if (e.state != State::Done || e.done > now)
+        if (rob_state_[slot] != State::Done || rob_done_[slot] > now)
             break;
-        if (e.is_store) {
+        if (rob_is_store_[slot] != 0) {
+            const Addr st_vaddr = rob_st_vaddr_[slot];
             Packet w;
-            w.vaddr = e.st_vaddr;
-            w.paddr = ports_.page_table->translate(params_.id, e.st_vaddr);
-            w.ip = e.ip;
+            w.vaddr = st_vaddr;
+            w.paddr = ports_.page_table->translate(params_.id, st_vaddr);
+            w.ip = rob_ip_[slot];
             w.type = AccessType::Rfo;
             w.core = static_cast<std::uint8_t>(params_.id);
             w.birth = now;
@@ -386,15 +485,15 @@ Core::retire(Cycle now)
                 break;   // L1D write queue full: stall retire
             // Keep the TLB contents warm for stores without modelling a
             // second walk (store translation overlaps with the ROB wait).
-            auto tr = ports_.tlbs->lookup(e.st_vaddr);
+            auto tr = ports_.tlbs->lookup(st_vaddr);
             if (tr.needs_walk)
-                ports_.tlbs->fill(e.st_vaddr);
-            if (int *cnt = pending_store_words_.find(wordKey(e.st_vaddr));
+                ports_.tlbs->fill(st_vaddr);
+            if (int *cnt = pending_store_words_.find(wordKey(st_vaddr));
                 cnt != nullptr && --*cnt == 0)
-                pending_store_words_.erase(wordKey(e.st_vaddr));
+                pending_store_words_.erase(wordKey(st_vaddr));
             --stores_in_flight_;
         }
-        if (e.is_load) {
+        if (rob_is_load_[slot] != 0) {
             assert(loads_in_flight_ > 0);
             --loads_in_flight_;
         }
@@ -407,6 +506,7 @@ Core::retire(Cycle now)
 void
 Core::memReturn(const Packet &pkt)
 {
+    quiet_until_ = 0;   // a response re-arms the pipeline
     if (pkt.req_id == kIfetchReqId) {
         ifetch_.waiting = false;
         return;
@@ -421,12 +521,13 @@ Core::memReturn(const Packet &pkt)
         // Wake the waiter chain in insertion order (the chain appends at
         // tail, so head-to-tail matches the order loads piggybacked).
         for (std::int32_t s = walk.head; s >= 0; s = walk_next_[s]) {
-            RobEntry &e = rob_[static_cast<std::uint32_t>(s)];
-            if (e.serial == walk_serial_[s] && e.state == State::WaitWalk) {
-                e.state = State::WaitIssue;
-                e.ready = std::max(e.ready, now_ + 1);
+            const std::uint32_t slot = static_cast<std::uint32_t>(s);
+            if (rob_serial_[slot] == walk_serial_[s]
+                && rob_state_[slot] == State::WaitWalk) {
+                rob_state_[slot] = State::WaitIssue;
+                rob_ready_[slot] = std::max(rob_ready_[slot], now_ + 1);
                 issue_list_.push_back(   // tlpsim:cap (reserved lq_size)
-                    static_cast<std::uint32_t>(s));
+                    slot);
             }
         }
         return;
@@ -437,8 +538,8 @@ Core::memReturn(const Packet &pkt)
         return;   // stale speculative response
     if (!lt->data_done) {
         lt->data_done = true;
-        RobEntry &e = rob_[lt->rob_slot];
-        if (e.serial == lt->serial && e.state == State::WaitMem)
+        if (rob_serial_[lt->rob_slot] == lt->serial
+            && rob_state_[lt->rob_slot] == State::WaitMem)
             complete(lt->rob_slot, now_ + 1);
     }
     if (!pkt.spec_dram) {

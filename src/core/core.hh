@@ -17,6 +17,14 @@
  *     DRAM read from the core (6-cycle predictor latency), "delayed"
  *     decisions tag the demand packet for issue-on-L1D-miss; training
  *     runs when the *demand* response returns with the true serve level.
+ *
+ * In-flight state lives in structure-of-arrays form: the ROB is a set of
+ * parallel per-field arrays (state, ready, done, serial, ...) rather
+ * than an array of structs, so the per-cycle scans (issue-list walk,
+ * retire probe, wakeup chains) touch only the cache lines of the fields
+ * they read. The per-entry dependent lists are intrusive chains through
+ * fixed arrays (a slot has at most two unresolved operands, so
+ * slot*2+operand is a perfect chain-node id) — no per-entry vectors.
  */
 
 #ifndef TLPSIM_CORE_CORE_HH
@@ -77,9 +85,53 @@ class Core : public MemoryClient
 
     void tick(Cycle now);
 
+    /**
+     * Per-cycle entry point for the simulator loop. During a quiet
+     * window (tick() could change no state per nextEventCycle(), and no
+     * response has arrived since — memReturn() drops the watermark) the
+     * full pipeline walk collapses to the same per-cycle stall-counter
+     * replay the global idle skip uses, so a stalled core costs a
+     * compare and a counter bump instead of retire/issue/fetch scans.
+     */
+    void
+    tickIfDue(Cycle now)
+    {
+        if (now < quiet_until_) {
+            // Keep now_ fresh: responses arriving later this cycle
+            // timestamp wakeups at now_ + 1, exactly as they would had
+            // the core run its (no-op) tick.
+            now_ = now;
+            onCyclesSkipped(1);
+            return;
+        }
+        tick(now);
+        quiet_until_ = nextEventCycle(now);
+    }
+
     void memReturn(const Packet &pkt) override;
 
     InstrCount retired() const { return retired_; }
+
+    /**
+     * Earliest cycle strictly after @p now at which tick() could change
+     * architectural state or a stat, assuming no other component acts
+     * first (events arriving via memReturn are the other components'
+     * events and show up in *their* nextEventCycle). Must be called
+     * after tick(now). Returns kCycleNever when the core is fully
+     * quiescent until an external response arrives; per-cycle stall
+     * counters during such a window are replayed by onCyclesSkipped().
+     * (Non-const: inspecting the fetch gate peeks the trace cursor,
+     * which may refill its chunk buffer.)
+     */
+    Cycle nextEventCycle(Cycle now);
+
+    /**
+     * Replay the per-cycle stat side effects of @p delta skipped no-op
+     * ticks (ifetch stall / ROB-full counters), keeping a skipped run's
+     * counters bit-identical to a cycle-by-cycle run. Only valid when
+     * every skipped cycle was quiescent per nextEventCycle().
+     */
+    void onCyclesSkipped(Cycle delta);
 
     /** L1I presence check is routed through this probe+touch interface. */
     struct IfetchState
@@ -96,24 +148,6 @@ class Core : public MemoryClient
         WaitWalk,    ///< load: page walk outstanding
         WaitMem,     ///< load: demand access outstanding
         Done,
-    };
-
-    struct RobEntry
-    {
-        Addr ip = 0;
-        Addr ld_vaddr = 0;
-        Addr st_vaddr = 0;
-        RegId dst = kNoReg;
-        std::uint8_t unresolved = 0;
-        bool is_load = false;
-        bool is_store = false;
-        bool mispredicted_branch = false;
-        State state = State::Done;
-        Cycle ready = 0;    ///< operand-ready cycle
-        Cycle done = 0;     ///< completion cycle (valid in Done)
-        std::uint64_t serial = 0;
-        std::uint64_t load_id = 0;
-        std::vector<std::uint32_t> dependents;   ///< rob slots waiting on dst
     };
 
     struct RegState
@@ -155,17 +189,47 @@ class Core : public MemoryClient
     void retire(Cycle now);
     void flushSpecDelay(Cycle now);
     bool fetchBlocked(Cycle now) const;
+    void addDependent(std::uint32_t producer, std::uint32_t slot,
+                      unsigned operand);
 
     std::uint32_t robIndex(std::uint64_t i) const
     {
-        return static_cast<std::uint32_t>(i % rob_.size());
+        return static_cast<std::uint32_t>(i % rob_size_);
     }
+
+    bool robFull() const { return rob_tail_ - rob_head_ >= rob_size_; }
 
     Params params_;
     Ports ports_;
     BranchPredictor bpred_;
 
-    std::vector<RobEntry> rob_;
+    // ROB in structure-of-arrays form: one array per field, indexed by
+    // rob slot. The per-cycle loops (retire head probe, issue-list scan,
+    // wakeup-chain walks) each touch only the arrays they need, instead
+    // of dragging a whole ~100-byte RobEntry line in per probe.
+    std::size_t rob_size_ = 0;
+    std::vector<Addr> rob_ip_;
+    std::vector<Addr> rob_ld_vaddr_;
+    std::vector<Addr> rob_st_vaddr_;
+    std::vector<RegId> rob_dst_;
+    std::vector<std::uint8_t> rob_unresolved_;
+    std::vector<std::uint8_t> rob_is_load_;
+    std::vector<std::uint8_t> rob_is_store_;
+    std::vector<std::uint8_t> rob_mispred_;
+    std::vector<State> rob_state_;
+    std::vector<Cycle> rob_ready_;    ///< operand-ready cycle
+    std::vector<Cycle> rob_done_;     ///< completion cycle (valid in Done)
+    std::vector<std::uint64_t> rob_serial_;
+    std::vector<std::uint64_t> rob_load_id_;
+    /** Intrusive dependent chains: a consumer waits on at most two
+     *  producers (operand 0/1), so chain node slot*2+operand uniquely
+     *  names "operand N of consumer S". dep_head_/dep_tail_ are per
+     *  producer slot; dep_next_ is per chain node. Append at tail keeps
+     *  the wakeup order identical to the old per-entry vectors. */
+    std::vector<std::int32_t> dep_head_;
+    std::vector<std::int32_t> dep_tail_;
+    std::vector<std::int32_t> dep_next_;
+
     std::uint64_t rob_head_ = 0;   ///< absolute index of oldest entry
     std::uint64_t rob_tail_ = 0;   ///< absolute index one past youngest
     std::uint64_t next_serial_ = 1;
@@ -192,8 +256,15 @@ class Core : public MemoryClient
     unsigned fetch_block_tokens_ = 0;
     Cycle fetch_stall_until_ = 0;
     IfetchState ifetch_;
+    /** Set when this tick's fetch broke on a failed L1I sendRead (queue
+     *  full, not waiting): that path bumps ifetch_stalls every retry
+     *  cycle, so nextEventCycle() must refuse to skip over it. */
+    bool fetch_retry_ = false;
     InstrCount retired_ = 0;
     Cycle now_ = 0;
+    /** Quiet watermark for tickIfDue(): nextEventCycle() of the last
+     *  real tick, dropped to 0 whenever a response arrives. */
+    Cycle quiet_until_ = 0;
 
     Counter *instrs_;
     Counter *loads_;

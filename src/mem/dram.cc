@@ -26,6 +26,8 @@ DramController::DramController(const Params &p, StatGroup *stats)
 {
     assert(isPowerOfTwo(p.banks));
     assert(isPowerOfTwo(p.blocks_per_row));
+    bank_shift_ = log2i(p.blocks_per_row);
+    row_shift_ = bank_shift_ + log2i(p.banks);
     read_q_.reserve(p.rq_size);
     write_q_.reserve(p.wq_size);
     in_flight_.reserve(p.rq_size);
@@ -64,15 +66,13 @@ DramController::bankOf(Addr paddr) const
 {
     // column (low) | bank | row (high): an 8 KiB stream stays in one row.
     return static_cast<unsigned>(
-        bits(blockNumber(paddr), log2i(params_.blocks_per_row),
-             log2i(params_.banks)));
+        (blockNumber(paddr) >> bank_shift_) & (params_.banks - 1));
 }
 
 Addr
 DramController::rowOf(Addr paddr) const
 {
-    return blockNumber(paddr)
-        >> (log2i(params_.blocks_per_row) + log2i(params_.banks));
+    return blockNumber(paddr) >> row_shift_;
 }
 
 DramController::SpecLine *
@@ -127,6 +127,8 @@ DramController::sendRead(const Packet &pkt)
         spec_issued_->add();
         read_q_.push_back(   // tlpsim:cap (reserved rq_size)
             {pkt, pkt.birth, takeWaiterStorage()});
+        sched_quiet_until_ = 0;   // new entry: its bank may be idle
+        next_tick_ = 0;
         return true;
     }
 
@@ -183,6 +185,8 @@ DramController::sendRead(const Packet &pkt)
         return false;
     read_q_.push_back(   // tlpsim:cap (reserved rq_size)
         {pkt, pkt.birth, takeWaiterStorage()});
+    sched_quiet_until_ = 0;   // new entry: its bank may be idle
+    next_tick_ = 0;
     return true;
 }
 
@@ -194,23 +198,28 @@ DramController::sendWrite(const Packet &pkt)
     // Writes complete silently and never collect waiters, so the empty
     // vector here never allocates.
     write_q_.push_back({pkt, pkt.birth, {}});   // tlpsim:cap (reserved)
+    sched_quiet_until_ = 0;   // new entry: its bank may be idle
+    next_tick_ = 0;
     return true;
 }
 
-void
+Cycle
 DramController::scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
                             bool is_write)
 {
     if (queue.empty())
-        return;
+        return kCycleNever;
 
     // FR-FCFS: oldest row-buffer hit whose bank is ready; else the oldest
     // request with a ready bank.
     std::size_t pick = queue.size();
+    Cycle bank_horizon = kCycleNever;
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const Bank &bank = banks_[bankOf(queue[i].pkt.paddr)];
-        if (bank.ready_at > now)
+        if (bank.ready_at > now) {
+            bank_horizon = std::min(bank_horizon, bank.ready_at);
             continue;
+        }
         if (bank.open_row == rowOf(queue[i].pkt.paddr)) {
             pick = i;
             break;
@@ -219,7 +228,7 @@ DramController::scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
             pick = i;
     }
     if (pick == queue.size())
-        return;
+        return bank_horizon;
 
     QueueEntry entry = std::move(queue[pick]);
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
@@ -247,18 +256,25 @@ DramController::scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
     txn_->add();
     if (is_write) {
         writes_->add();
-        return;   // writes complete silently
+        return kCycleNever;   // writes complete silently
     }
     reads_->add();
     in_flight_.push_back(   // tlpsim:cap (reserved rq_size)
         {std::move(entry), done});
+    next_done_ = std::min(next_done_, done);
+    return kCycleNever;
 }
 
 void
 DramController::completeReads(Cycle now)
 {
+    if (now < next_done_)
+        return;   // nothing in flight completes this cycle
+
+    Cycle next = kCycleNever;
     for (std::size_t i = 0; i < in_flight_.size();) {
         if (in_flight_[i].done > now) {
+            next = std::min(next, in_flight_[i].done);
             ++i;
             continue;
         }
@@ -294,6 +310,7 @@ DramController::completeReads(Cycle now)
         waiter_pool_.push_back(   // tlpsim:cap (reserved rq_size)
             std::move(f.entry.waiters));
     }
+    next_done_ = next;
 }
 
 void
@@ -305,8 +322,15 @@ DramController::tick(Cycle now)
     // the current one. This keeps CAS/burst pipelining (row hits stream
     // at the bus rate) while bounding how far reservations — and the
     // in-flight list — can run ahead of the clock.
-    if (bus_free_at_ > now + params_.t_cas + params_.burst_cycles)
+    if (bus_free_at_ > now + params_.t_cas + params_.burst_cycles) {
+        next_tick_ = computeNextTick(now);
         return;
+    }
+
+    if (now < sched_quiet_until_) {
+        next_tick_ = computeNextTick(now);
+        return;   // every queued request's bank is still busy
+    }
 
     // Write-drain policy: start draining when the write queue is nearly
     // full or there is nothing else to do; stop once mostly drained.
@@ -318,10 +342,55 @@ DramController::tick(Cycle now)
         draining_writes_ = true;
     }
 
+    Cycle horizon;
     if (draining_writes_ && !write_q_.empty())
-        scheduleOne(now, write_q_, true);
+        horizon = scheduleOne(now, write_q_, true);
     else
-        scheduleOne(now, read_q_, false);
+        horizon = scheduleOne(now, read_q_, false);
+    // A fruitless scan's bank horizon quiets the scheduler until then;
+    // an issue (or empty queue) re-scans next tick (kCycleNever would
+    // wedge an empty queue closed, so clamp to "no window").
+    sched_quiet_until_ = horizon == kCycleNever ? 0 : horizon;
+    next_tick_ = computeNextTick(now);
+}
+
+Cycle
+DramController::computeNextTick(Cycle now) const
+{
+    // Mirrors tick()'s early exits using only maintained watermarks (no
+    // queue scans): before this cycle a tick would complete nothing
+    // (next_done_), and the scheduler is fenced by the bus gate and by
+    // sched_quiet_until_'s all-banks-busy window. Enqueues drop
+    // next_tick_ to 0, so a new entry is never fenced out.
+    Cycle e = in_flight_.empty() ? kCycleNever
+                                 : std::max(next_done_, now + 1);
+    if (!read_q_.empty() || !write_q_.empty()) {
+        const Cycle headroom = params_.t_cas + params_.burst_cycles;
+        const Cycle gate = bus_free_at_ > now + headroom
+            ? bus_free_at_ - headroom
+            : now + 1;
+        const Cycle sched = std::max(gate,
+                                     std::max(sched_quiet_until_, now + 1));
+        e = std::min(e, sched);
+    }
+    return e;
+}
+
+Cycle
+DramController::nextEventCycle(Cycle now) const
+{
+    // Exactly the tickIfDue() watermark — the first cycle a *full* tick
+    // (one that reaches the drain-policy update and the scheduler) runs.
+    // It is tempting to bound tighter, e.g. by the queue's bank-ready
+    // horizon: that is wrong, because draining_writes_ is hysteresis
+    // with memory, and with an empty read queue and a small write queue
+    // consecutive full ticks oscillate it (start-drain's "nothing else
+    // to do" vs stop-drain's "mostly drained"). The flag value when a
+    // bank finally frees — and hence the issue cycle — depends on the
+    // parity of full ticks since the last enqueue, so an idle skip may
+    // never jump past one: it would change scheduling outcomes, and
+    // skip-on/skip-off runs must stay bit-identical.
+    return computeNextTick(now);
 }
 
 bool

@@ -54,6 +54,29 @@ class DramController : public MemoryBackend
     bool probe(Addr) const override { return false; }
     void tick(Cycle now) override;
 
+    /** Per-cycle entry point for the simulator loop: skips tick() while
+     *  the controller is provably inert (no completion due, and either
+     *  nothing queued or the bus gate / all-banks-busy quiet window
+     *  holds), so a waiting cycle costs one compare instead of a
+     *  virtual call plus three early-return checks. */
+    void
+    tickIfDue(Cycle now)
+    {
+        if (now >= next_tick_)
+            tick(now);
+    }
+
+    /**
+     * Earliest cycle strictly after @p now at which a *full* tick (one
+     * reaching the drain-policy update and the scheduler) runs — the
+     * same watermark tickIfDue() uses, kCycleNever when fully drained.
+     * Deliberately no tighter (see the definition): the drain flag is
+     * hysteresis with memory, so an idle skip must not jump past any
+     * full tick or skip-on and skip-off runs diverge. Valid after
+     * tick(now).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** True iff a completed speculative line for @p paddr is buffered. */
     bool specBufferHolds(std::uint8_t core, Addr paddr) const;
 
@@ -93,9 +116,12 @@ class DramController : public MemoryBackend
     unsigned bankOf(Addr paddr) const;
     Addr rowOf(Addr paddr) const;
 
-    /** Pick the next read/write with FR-FCFS and start it. */
-    void scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
-                     bool is_write);
+    /** Pick the next read/write with FR-FCFS and start it. Returns
+     *  kCycleNever when a request issued (or the queue is empty);
+     *  otherwise the earliest ready_at among the queue's banks — the
+     *  first cycle a re-scan could pick anything. */
+    Cycle scheduleOne(Cycle now, std::vector<QueueEntry> &queue,
+                      bool is_write);
 
     void completeReads(Cycle now);
 
@@ -122,6 +148,30 @@ class DramController : public MemoryBackend
     std::vector<std::vector<SpecLine>> spec_buffer_;   ///< [core][entry]
     Cycle bus_free_at_ = 0;
     bool draining_writes_ = false;
+    /** Address-mapping shifts, fixed at construction (bankOf/rowOf run
+     *  inside the FR-FCFS scan loops). */
+    unsigned bank_shift_ = 0;
+    unsigned row_shift_ = 0;
+    /** Quiet watermark: before this cycle a scheduling scan cannot pick
+     *  (every queued request's bank is busy and no new entries arrived).
+     *  Set from a fruitless scan's bank horizon, cleared on enqueue and
+     *  after every issue. Ticks inside the window skip the scan — they
+     *  would change no state (the drain-policy update is a pure function
+     *  of queue sizes, which such ticks leave alone). */
+    Cycle sched_quiet_until_ = 0;
+    /** Exact earliest in-flight completion (kCycleNever when none):
+     *  pushed down on issue, recomputed by every completion sweep.
+     *  Lets completeReads() skip its scan on the vast majority of
+     *  cycles and nextEventCycle() avoid walking in_flight_. */
+    Cycle next_done_ = kCycleNever;
+    /** Quiet watermark for tickIfDue(): min of the next completion and
+     *  the first cycle the scheduler could act (bus-gate clearance and
+     *  the sched_quiet_until_ window), recomputed after every tick and
+     *  dropped to 0 by every enqueue. */
+    Cycle next_tick_ = 0;
+
+    /** Recompute next_tick_ from maintained state (end of tick()). */
+    Cycle computeNextTick(Cycle now) const;
 
     Counter *txn_;
     Counter *reads_;

@@ -114,6 +114,12 @@ class MemoryBackend
     /** Enqueue a prefetch (lower priority). False = queue full. */
     virtual bool sendPrefetch(const Packet &pkt) { return sendRead(pkt); }
 
+    /** May sendPrefetch() succeed right now? Capacity hint only: false
+     *  means sendPrefetch is guaranteed to fail this cycle, so a caller
+     *  retrying a blocked prefetch can skip building the packet. True
+     *  promises nothing (the default suits backends with merge paths). */
+    virtual bool canAcceptPrefetch() const { return true; }
+
     /** Tag-array presence check with no state change (oracle probes). */
     virtual bool probe(Addr paddr) const = 0;
 

@@ -59,7 +59,17 @@ class HashedPerceptron
             foldedXor(value, m.index_bits) & (m.entries - 1));
     }
 
-    /** Sum weights for pre-hashed indices (one per table). */
+    /** Table @p t's fold width (callers exploiting foldedXor's
+     *  XOR-linearity pre-fold shared hash terms once per prediction). */
+    unsigned indexBits(unsigned t) const { return meta_[t].index_bits; }
+
+    unsigned entriesOf(unsigned t) const { return meta_[t].entries; }
+
+    /** Sum weights for pre-hashed indices (one per table). Dispatches
+     *  to an AVX2 gather kernel when the host supports it and n >= 8;
+     *  the vector and scalar paths produce bit-identical sums (int32
+     *  addition over |w| <= 15, n <= 16 cannot overflow and is
+     *  order-insensitive). */
     int predict(const std::uint16_t *index, unsigned n) const;
 
     /**
@@ -92,10 +102,20 @@ class HashedPerceptron
         unsigned index_bits;
     };
 
+#if defined(__x86_64__)
+    /** AVX2 gather kernel behind predict()'s runtime dispatch. */
+    int predictAvx2(const std::uint16_t *index, unsigned n) const;
+#endif
+
     std::string name_;
     std::vector<std::string> table_names_;
     std::vector<TableMeta> meta_;
-    std::vector<PerceptronWeight> weights_;   ///< all tables, back to back
+    /** All tables back to back, plus two always-zero guard entries: the
+     *  first doubles as the padding weight for gather lanes beyond n,
+     *  the second keeps the gather's 4-byte loads in bounds at the
+     *  padding index. Neither is ever trained. */
+    std::vector<PerceptronWeight> weights_;
+    std::uint32_t pad_index_ = 0;   ///< index of the first guard entry
     int training_threshold_;
 };
 

@@ -11,7 +11,8 @@ BertiPrefetcher::BertiPrefetcher() : BertiPrefetcher(Params{}) {}
 BertiPrefetcher::BertiPrefetcher(const Params &p)
     : params_(p),
       table_(std::size_t{p.table_entries} << p.table_scale_shift),
-      window_(p.initial_window)
+      window_(p.initial_window),
+      table_index_bits_(log2i(table_.size()))
 {
     for (auto &e : table_) {
         e.history.resize(p.history_per_ip);
@@ -24,7 +25,7 @@ BertiPrefetcher::BertiPrefetcher(const Params &p)
 BertiPrefetcher::IpEntry *
 BertiPrefetcher::entryFor(Addr ip, bool allocate)
 {
-    std::size_t idx = foldedXor(ip >> 2, log2i(table_.size()))
+    std::size_t idx = foldedXor(ip >> 2, table_index_bits_)
         & (table_.size() - 1);
     auto tag = static_cast<std::uint16_t>(bits(ip, 2, 12));
     IpEntry &e = table_[idx];

@@ -83,6 +83,8 @@ class BertiPrefetcher : public Prefetcher
     Params params_;
     std::vector<IpEntry> table_;
     Cycle window_;
+    /** log2(table_.size()), fixed at construction (used per access). */
+    unsigned table_index_bits_ = 0;
 };
 
 } // namespace tlpsim

@@ -12,7 +12,8 @@ IpcpPrefetcher::IpcpPrefetcher(const Params &p)
     : params_(p),
       ip_table_(std::size_t{p.ip_table_entries} << p.table_scale_shift),
       cspt_(std::size_t{p.cspt_entries} << p.table_scale_shift),
-      regions_(p.region_entries)
+      regions_(p.region_entries),
+      ip_index_bits_(log2i(ip_table_.size()))
 {
 }
 
@@ -58,7 +59,7 @@ IpcpPrefetcher::onAccess(const PrefetchTrigger &trigger,
         __builtin_popcountll(region->touched));
 
     // --- Per-IP stride tracking ----------------------------------------
-    std::size_t idx = foldedXor(trigger.ip >> 2, log2i(ip_table_.size()))
+    std::size_t idx = foldedXor(trigger.ip >> 2, ip_index_bits_)
         & (ip_table_.size() - 1);
     auto tag = static_cast<std::uint16_t>(bits(trigger.ip, 2, 10));
     IpEntry &e = ip_table_[idx];

@@ -83,6 +83,8 @@ class IpcpPrefetcher : public Prefetcher
     std::vector<IpEntry> ip_table_;
     std::vector<CsptEntry> cspt_;
     std::vector<Region> regions_;
+    /** log2(ip_table_.size()), fixed at construction (used per access). */
+    unsigned ip_index_bits_ = 0;
     std::uint64_t lru_clock_ = 0;
 };
 

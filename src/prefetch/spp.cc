@@ -1,5 +1,7 @@
 #include "prefetch/spp.hh"
 
+#include <cassert>
+
 #include "common/bitops.hh"
 #include "prefetch/factory.hh"
 
@@ -12,8 +14,7 @@ SppPrefetcher::SppPrefetcher(const Params &p)
     : params_(p), sig_table_(p.signature_table_entries),
       pattern_table_(p.pattern_table_entries)
 {
-    for (auto &e : pattern_table_)
-        e.deltas.resize(p.deltas_per_pattern);
+    assert(p.deltas_per_pattern <= kMaxDeltasPerPattern);
     if (params_.aggressive) {
         params_.lookahead_cutoff = 10;
         params_.max_lookahead = 12;
@@ -55,9 +56,11 @@ SppPrefetcher::onAccess(const PrefetchTrigger &trigger,
     // --- Train the pattern table with the observed delta ----------------
     PatternEntry &pt = pattern_table_[e.signature
                                       & (pattern_table_.size() - 1)];
+    const unsigned nd = params_.deltas_per_pattern;
     PatternDelta *slot = nullptr;
     PatternDelta *weakest = &pt.deltas[0];
-    for (auto &d : pt.deltas) {
+    for (unsigned i = 0; i < nd; ++i) {
+        PatternDelta &d = pt.deltas[i];
         if (d.count > 0 && d.delta == delta) {
             slot = &d;
             break;
@@ -72,8 +75,9 @@ SppPrefetcher::onAccess(const PrefetchTrigger &trigger,
     }
     if (slot->count == 15) {
         // Saturate: age everything to keep ratios meaningful.
-        for (auto &d : pt.deltas)
-            d.count = static_cast<std::uint8_t>(d.count >> 1);
+        for (unsigned i = 0; i < nd; ++i)
+            pt.deltas[i].count
+                = static_cast<std::uint8_t>(pt.deltas[i].count >> 1);
         pt.total = static_cast<std::uint8_t>(pt.total >> 1);
     }
     ++slot->count;
@@ -94,7 +98,8 @@ SppPrefetcher::onAccess(const PrefetchTrigger &trigger,
         if (p.total == 0)
             break;
         const PatternDelta *best = nullptr;
-        for (const auto &d : p.deltas) {
+        for (unsigned i = 0; i < nd; ++i) {
+            const PatternDelta &d = p.deltas[i];
             if (d.count > 0 && (best == nullptr || d.count > best->count))
                 best = &d;
         }

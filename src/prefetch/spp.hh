@@ -16,6 +16,7 @@
 #ifndef TLPSIM_PREFETCH_SPP_HH
 #define TLPSIM_PREFETCH_SPP_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -87,9 +88,15 @@ class SppPrefetcher : public Prefetcher
         std::uint8_t count = 0;
     };
 
+    /** Delta slots live inline (bounded by kMaxDeltasPerPattern, only
+     *  the first deltas_per_pattern are used): the per-access train +
+     *  lookahead scans stay within the entry's own cache lines instead
+     *  of chasing a heap vector per pattern-table probe. */
+    static constexpr unsigned kMaxDeltasPerPattern = 8;
+
     struct PatternEntry
     {
-        std::vector<PatternDelta> deltas;
+        std::array<PatternDelta, kMaxDeltasPerPattern> deltas{};
         std::uint8_t total = 0;
     };
 

@@ -305,17 +305,118 @@ Simulator::build()
 void
 Simulator::step()
 {
+    if (profile_ != nullptr) {
+        stepProfiled();
+        return;
+    }
     for (auto &core : cores_)
-        core->tick(cycle_);
+        core->tickIfDue(cycle_);
     for (auto &c : l1i_)
-        c->tick(cycle_);
+        c->tickIfDue(cycle_);
     for (auto &c : l1d_)
-        c->tick(cycle_);
+        c->tickIfDue(cycle_);
     for (auto &c : l2_)
-        c->tick(cycle_);
-    llc_->tick(cycle_);
-    dram_->tick(cycle_);
+        c->tickIfDue(cycle_);
+    llc_->tickIfDue(cycle_);
+    dram_->tickIfDue(cycle_);
     ++cycle_;
+}
+
+void
+Simulator::stepProfiled()
+{
+    HotloopProfile &p = *profile_;
+    std::uint64_t t0 = profileTimestamp();
+    auto lap = [&t0, &p](int subsystem, std::size_t n) {
+        const std::uint64_t t1 = profileTimestamp();
+        p.ticks[subsystem] += t1 - t0;
+        p.calls[subsystem] += n;
+        t0 = t1;
+    };
+    for (auto &core : cores_)
+        core->tickIfDue(cycle_);
+    lap(HotloopProfile::kCore, cores_.size());
+    for (auto &c : l1i_)
+        c->tickIfDue(cycle_);
+    lap(HotloopProfile::kL1i, l1i_.size());
+    for (auto &c : l1d_)
+        c->tickIfDue(cycle_);
+    lap(HotloopProfile::kL1d, l1d_.size());
+    for (auto &c : l2_)
+        c->tickIfDue(cycle_);
+    lap(HotloopProfile::kL2, l2_.size());
+    llc_->tickIfDue(cycle_);
+    lap(HotloopProfile::kLlc, 1);
+    dram_->tickIfDue(cycle_);
+    lap(HotloopProfile::kDram, 1);
+    ++cycle_;
+    ++p.stepped_cycles;
+}
+
+Cycle
+Simulator::nextEventCycle()
+{
+    // Components were last ticked at cycle_ - 1 (step() post-increments).
+    // Cheapest sources first (O(1) cache watermarks, then DRAM, then the
+    // per-core scans), bailing out the moment the floor of now + 1 is
+    // reached: on busy cycles some cache almost always has work due next
+    // cycle, so the common case never pays for the core-side scan.
+    const Cycle now = cycle_ - 1;
+    const Cycle lo = now + 1;
+    Cycle e = llc_->nextEventCycle(now);
+    if (e <= lo)
+        return e;
+    for (auto &c : l1d_) {
+        e = std::min(e, c->nextEventCycle(now));
+        if (e <= lo)
+            return e;
+    }
+    for (auto &c : l2_) {
+        e = std::min(e, c->nextEventCycle(now));
+        if (e <= lo)
+            return e;
+    }
+    for (auto &c : l1i_) {
+        e = std::min(e, c->nextEventCycle(now));
+        if (e <= lo)
+            return e;
+    }
+    e = std::min(e, dram_->nextEventCycle(now));
+    if (e <= lo)
+        return e;
+    for (auto &core : cores_) {
+        e = std::min(e, core->nextEventCycle(now));
+        if (e <= lo)
+            return e;
+    }
+    return e;
+}
+
+Cycle
+Simulator::skipIdle(Cycle limit)
+{
+    Cycle target;
+    if (profile_ != nullptr) {
+        const std::uint64_t t0 = profileTimestamp();
+        target = std::min(nextEventCycle(), limit);
+        profile_->ticks[HotloopProfile::kNextEvent]
+            += profileTimestamp() - t0;
+        ++profile_->calls[HotloopProfile::kNextEvent];
+    } else {
+        target = std::min(nextEventCycle(), limit);
+    }
+    if (target <= cycle_)
+        return 0;
+    const Cycle delta = target - cycle_;
+    // Replay the per-cycle stall counters the elided ticks would have
+    // bumped (the only side effect a quiescent cycle has).
+    for (auto &core : cores_)
+        core->onCyclesSkipped(delta);
+    cycle_ = target;
+    idle_skipped_ += delta;
+    if (profile_ != nullptr)
+        profile_->skipped_cycles += delta;
+    return delta;
 }
 
 namespace
@@ -417,16 +518,36 @@ Simulator::run()
     };
 
     advancePhases();   // warmup_instrs == 0 opens windows at cycle 0
+    const bool idle_skip = cfg_.idle_skip;
+    Cycle poll_epoch = 0;
+    Cycle next_skip_try = 0;
     while (remaining > 0 && cycle_ < cap) {
         step();
         // Wall-clock watchdog (armed by the Runner's StorePolicy): one
-        // predictable branch per 64 Ki cycles, a clock read only when a
+        // predictable branch per ~64 Ki cycles, a clock read only when a
         // timeout is actually configured. poll() throws SimTimeoutError,
         // unwinding this run cleanly — simulation state is per-Simulator
-        // and dies with it, so a retry starts from scratch.
-        if ((cycle_ & 0xFFFF) == 0)
+        // and dies with it, so a retry starts from scratch. The poll
+        // fires on 64 Ki-epoch *crossings*, not exact multiples: the
+        // idle skip below can jump the clock over any fixed multiple.
+        if ((cycle_ >> 16) != poll_epoch) {
+            poll_epoch = cycle_ >> 16;
             watchdog::poll();
+        }
         advancePhases();
+        // Event-driven idle elision: when every component reports its
+        // next possible state change is beyond the next cycle, jump
+        // straight there. Bit-identical to ticking through (the skipped
+        // ticks' only side effects — per-cycle stall counters — are
+        // replayed), including at the cap: a capped run replays exactly
+        // the stall counts the cycle-by-cycle loop would have counted.
+        // A fruitless scan backs off for a few cycles: skipping is
+        // optional (a missed skip just ticks through the quiet cycles),
+        // so busy stretches stop paying the scan every cycle.
+        if (idle_skip && remaining > 0 && cycle_ < cap
+            && cycle_ >= next_skip_try && skipIdle(cap) == 0) {
+            next_skip_try = cycle_ + 8;
+        }
     }
     res.hit_cycle_cap = remaining > 0;
 

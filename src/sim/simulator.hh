@@ -16,6 +16,7 @@
 #include "cache/cache.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
+#include "sim/hotloop_profile.hh"
 #include "mem/dram.hh"
 #include "offchip/offchip_predictor.hh"
 #include "sim/system_config.hh"
@@ -130,6 +131,32 @@ class Simulator
     /** Tick every unit once (exposed for tests). */
     void step();
 
+    /**
+     * Earliest cycle at which any component could change state or a
+     * stat, given the post-step() state (conservative: never later than
+     * the true next event). Only meaningful after at least one step().
+     */
+    Cycle nextEventCycle();
+
+    /**
+     * Event-driven idle skip: if nextEventCycle() is beyond cycle_, jump
+     * the clock straight there (clamped to @p limit) and replay the
+     * skipped cycles' deterministic stall counters on every core. A
+     * skipping run is bit-identical — same stats, same figure tables —
+     * to a cycle-by-cycle run; run() invokes this after every step when
+     * the idle_skip knob is on. Returns the number of cycles skipped.
+     */
+    Cycle skipIdle(Cycle limit);
+
+    /** Total cycles elided by skipIdle() (not a stat on purpose: the
+     *  stat maps of skip-on and skip-off runs must stay identical). */
+    std::uint64_t idleSkippedCycles() const { return idle_skipped_; }
+
+    /** Attach a per-subsystem hot-loop profile (nullptr to detach).
+     *  While attached, step()/skipIdle() bracket each component family
+     *  with timestamp reads; simulation results are unaffected. */
+    void setProfile(HotloopProfile *p) { profile_ = p; }
+
     Cycle cycle() const { return cycle_; }
     StatGroup &stats() { return stats_; }
     Core &core(unsigned i) { return *cores_[i]; }
@@ -153,11 +180,14 @@ class Simulator
     struct PrefetchTranslator;
 
     void build();
+    void stepProfiled();
 
     SystemConfig cfg_;
     std::vector<std::shared_ptr<TraceSource>> sources_;
     StatGroup stats_;
     Cycle cycle_ = 0;
+    std::uint64_t idle_skipped_ = 0;
+    HotloopProfile *profile_ = nullptr;
 
     PageTable page_table_;
     std::unique_ptr<OracleProbe> oracle_;

@@ -553,6 +553,7 @@ SystemConfig::fromConfig(const Config &cfg)
     c.warmup_instrs = cfg.getUnsigned("warmup_instrs", c.warmup_instrs);
     c.sim_instrs = cfg.getUnsigned("sim_instrs", c.sim_instrs);
     c.max_cycles = cfg.getUnsigned("max_cycles", c.max_cycles);
+    c.idle_skip = cfg.getBool("idle_skip", c.idle_skip);
     c.dram_gbps_per_core
         = cfg.getDouble("dram_gbps_per_core", c.dram_gbps_per_core);
     c.core_ghz = cfg.getDouble("core_ghz", c.core_ghz);
@@ -664,6 +665,7 @@ SystemConfig::toConfig() const
     c.set("warmup_instrs", warmup_instrs);
     c.set("sim_instrs", sim_instrs);
     c.set("max_cycles", max_cycles);
+    c.set("idle_skip", idle_skip);
     c.set("dram_gbps_per_core", dram_gbps_per_core);
     c.set("core_ghz", core_ghz);
 

@@ -143,6 +143,12 @@ struct SystemConfig
      *  reports hit_cycle_cap and per-core *measured* instruction counts
      *  (SimResult::instrs) rather than the nominal sim_instrs. */
     Cycle max_cycles = 0;
+    /** Event-driven idle-cycle elision in Simulator::run(): when no
+     *  component can change state before the next scheduled event, the
+     *  clock jumps straight to it. Bit-identical results either way
+     *  (skipped cycles' stall counters are replayed); the knob exists so
+     *  tests can diff skip-on vs skip-off. */
+    bool idle_skip = true;
     /** Per-core DRAM bandwidth (Table III: 12.8 single, 3.2 multi). */
     double dram_gbps_per_core = 12.8;
     double core_ghz = 3.8;

@@ -8,10 +8,15 @@ namespace tlpsim
 Addr
 PageTable::translate(unsigned asid, Addr vaddr)
 {
-    Key key{asid, pageNumber(vaddr)};
+    const Addr vpn = pageNumber(vaddr);
+    MemoEntry &m = memo_[vpn & (kMemoEntries - 1)];
+    if (m.vpn == vpn && m.asid == asid)
+        return (m.frame << kPageBits) | (vaddr & kPageMask);
+    Key key{asid, vpn};
     auto it = map_.find(key);
     if (it == map_.end())
         it = map_.emplace(key, next_frame_++).first;
+    m = {vpn, asid, it->second};
     return (it->second << kPageBits) | (vaddr & kPageMask);
 }
 

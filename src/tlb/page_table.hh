@@ -12,6 +12,7 @@
 #ifndef TLPSIM_TLB_PAGE_TABLE_HH
 #define TLPSIM_TLB_PAGE_TABLE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -53,6 +54,20 @@ class PageTable
         }
     };
 
+    /** Direct-mapped memo over the map_ lookup. translate() is called
+     *  for every load, walk, and prefetch-candidate translation — most
+     *  hit the same few pages back to back — and the mapping is
+     *  first-touch-permanent, so a memo hit returns exactly what the
+     *  map lookup would. Pure cache: no observable behavior change. */
+    struct MemoEntry
+    {
+        Addr vpn = ~Addr{0};
+        unsigned asid = ~0u;
+        Addr frame = 0;
+    };
+    static constexpr std::size_t kMemoEntries = 1024;   // power of two
+
+    std::array<MemoEntry, kMemoEntries> memo_{};
     std::unordered_map<Key, Addr, KeyHash> map_;
     Addr next_frame_ = 1;
 };

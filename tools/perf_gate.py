@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench/perf_smoke.
+
+Runs perf_smoke several times (default 3), takes the median of the
+single-worker throughput metric (sim_kcycles_per_s_jobs1 — the jobs=N
+number depends on the runner's core count and is tracked separately by
+the CI summary), and compares it against the committed baseline in
+bench/perf_baseline.json. A drop of more than the baseline's tolerance
+(default 10%) fails the gate with a non-zero exit.
+
+The gate prints an old-vs-new table to stdout and, when running under
+GitHub Actions ($GITHUB_STEP_SUMMARY set), appends the same table to the
+job summary. Host metadata recorded by perf_smoke (compiler, build type,
+hardware threads) is compared against the baseline's record: mismatches
+are surfaced as warnings, not failures, since a toolchain bump is the
+usual legitimate reason for a baseline refresh.
+
+Refresh the baseline (see README):   python3 tools/perf_gate.py --update
+Negative self-test hook:             --scale 0.8 emulates a 25% slowdown
+(measured value is multiplied by the factor before comparison), so CI can
+prove the gate still fails on a seeded regression.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+METRIC = "sim_kcycles_per_s_jobs1"
+META_KEYS = ("compiler", "build_type", "hw_threads")
+
+
+def run_once(bench, cwd):
+    """Run perf_smoke once and return its parsed JSON record."""
+    proc = subprocess.run([bench], cwd=cwd, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL, check=False)
+    if proc.returncode != 0:
+        sys.exit("perf_gate: %s exited %d" % (bench, proc.returncode))
+    # The JSON record is the last non-empty stdout line (perf_smoke also
+    # writes BENCH_sweep.json, but parsing stdout keeps the gate
+    # independent of the working directory).
+    lines = [l for l in proc.stdout.decode().splitlines() if l.strip()]
+    if not lines:
+        sys.exit("perf_gate: %s produced no output" % bench)
+    try:
+        rec = json.loads(lines[-1])
+    except ValueError:
+        sys.exit("perf_gate: could not parse perf_smoke JSON: %r"
+                 % lines[-1])
+    if not rec.get("identical_stats", False):
+        sys.exit("perf_gate: perf_smoke reported non-identical stats")
+    return rec
+
+
+def emit(table):
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write(table + "\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bench", default="./build/perf_smoke",
+                    help="perf_smoke binary (default ./build/perf_smoke)")
+    ap.add_argument("--baseline", default="bench/perf_baseline.json",
+                    help="committed baseline file")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="runs to take the median over (default 3)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this host's median "
+                         "instead of gating")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="multiply the measured median by this factor "
+                         "before comparing (negative self-test hook)")
+    args = ap.parse_args()
+
+    records = [run_once(args.bench, os.getcwd())
+               for _ in range(max(1, args.runs))]
+    values = [float(r[METRIC]) for r in records]
+    median = statistics.median(values) * args.scale
+    meta = {k: records[-1].get(k) for k in META_KEYS}
+
+    if args.update:
+        baseline = {
+            "metric": METRIC,
+            "value": round(median, 1),
+            "tolerance_pct": 10,
+            "runs": len(values),
+            "recorded": meta,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print("perf_gate: baseline updated: %s = %.1f (%s)"
+              % (METRIC, median, args.baseline))
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        sys.exit("perf_gate: cannot read baseline %s: %s"
+                 % (args.baseline, e))
+    old = float(baseline["value"])
+    tol = float(baseline.get("tolerance_pct", 10))
+    floor = old * (1.0 - tol / 100.0)
+    ratio = median / old if old else 0.0
+    ok = median >= floor
+
+    for k in META_KEYS:
+        want = baseline.get("recorded", {}).get(k)
+        got = meta.get(k)
+        if want is not None and got != want:
+            print("perf_gate: warning: %s differs from baseline "
+                  "(%r vs %r) — numbers may not be comparable; refresh "
+                  "with --update if the toolchain change is deliberate"
+                  % (k, got, want), file=sys.stderr)
+
+    scaled = " (scaled x%.2f)" % args.scale if args.scale != 1.0 else ""
+    table = "\n".join([
+        "## perf gate — %s" % METRIC,
+        "",
+        "| | baseline | measured%s | ratio | floor (-%d%%) |" % (scaled,
+                                                                 tol),
+        "|---|---|---|---|---|",
+        "| kcycles/s | %.1f | %.1f | %.2fx | %.1f |"
+        % (old, median, ratio, floor),
+        "",
+        "runs: %s → median %.1f — **%s**"
+        % (", ".join("%.1f" % v for v in values), median,
+           "PASS" if ok else "FAIL: >%d%% regression" % tol),
+    ])
+    emit(table)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
